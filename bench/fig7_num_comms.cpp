@@ -1,0 +1,29 @@
+// Figure 7 — sensitivity to the number of communications (§6.1).
+//
+// Three panels on the 8×8 CMP with Kim–Horowitz discrete links:
+//   (a) small communications, weights U[100, 1500) Mb/s, nc = 0..140;
+//   (b) mixed, U[100, 2500), nc = 0..70;
+//   (c) big,   U[2500, 3500), nc = 0..30.
+// For each point: mean normalized power inverse (w.r.t. BEST; 0 on
+// failure) and failure ratio per policy. The paper uses 50 000 instances
+// per point; --trials / PAMR_TRIALS selects the sample size here.
+#include "pamr/exp/panels.hpp"
+#include "pamr/util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pamr;
+  ArgParser parser("fig7_num_comms", "paper Figure 7: sweep over nc");
+  parser.add_int("trials", exp::default_trials(), "instances per point", "PAMR_TRIALS");
+  parser.add_int("seed", 7, "campaign base seed");
+  parser.add_flag("csv", "also write CSV files to PAMR_OUT_DIR");
+  int exit_code = 0;
+  if (!parser.parse(argc, argv, exit_code)) return exit_code;
+
+  exp::CampaignOptions options;
+  options.trials = static_cast<std::int32_t>(parser.get_int("trials"));
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  for (const auto& panel : exp::figure7_panels()) {
+    exp::run_and_report_panel(panel, options, parser.get_flag("csv"));
+  }
+  return 0;
+}

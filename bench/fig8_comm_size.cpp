@@ -1,0 +1,28 @@
+// Figure 8 — sensitivity to the size (weight) of communications (§6.2).
+//
+// Panels: (a) 10, (b) 20, (c) 40 communications on the 8×8 CMP; the average
+// weight sweeps 100..3400 Mb/s (constant weights per instance — the paper's
+// "every communication reaches 1751 Mb/s" cliff pins the distribution, see
+// DESIGN.md). Expect: XYI dominates while unconstrained, collapses past the
+// ~1750 Mb/s cliff where two communications can no longer share a link;
+// PR is unaffected.
+#include "pamr/exp/panels.hpp"
+#include "pamr/util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pamr;
+  ArgParser parser("fig8_comm_size", "paper Figure 8: sweep over average weight");
+  parser.add_int("trials", exp::default_trials(), "instances per point", "PAMR_TRIALS");
+  parser.add_int("seed", 8, "campaign base seed");
+  parser.add_flag("csv", "also write CSV files to PAMR_OUT_DIR");
+  int exit_code = 0;
+  if (!parser.parse(argc, argv, exit_code)) return exit_code;
+
+  exp::CampaignOptions options;
+  options.trials = static_cast<std::int32_t>(parser.get_int("trials"));
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  for (const auto& panel : exp::figure8_panels()) {
+    exp::run_and_report_panel(panel, options, parser.get_flag("csv"));
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Figure 9 — sensitivity to the average Manhattan length (§6.3).
+//
+// Panels on the 8×8 CMP, length swept 2..14:
+//   (a) 100 small communications, U[200, 800) Mb/s;
+//   (b) 25 mixed, U[100, 3500);
+//   (c) 12 big, U[2700, 3300).
+// Expect: XYI best for short lengths, PR takes over as length (hence
+// contention) grows; BEST's failures peak at length 2 (short communications
+// are often collinear and cannot be separated).
+#include "pamr/exp/panels.hpp"
+#include "pamr/util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pamr;
+  ArgParser parser("fig9_comm_length", "paper Figure 9: sweep over Manhattan length");
+  parser.add_int("trials", exp::default_trials(), "instances per point", "PAMR_TRIALS");
+  parser.add_int("seed", 9, "campaign base seed");
+  parser.add_flag("csv", "also write CSV files to PAMR_OUT_DIR");
+  int exit_code = 0;
+  if (!parser.parse(argc, argv, exit_code)) return exit_code;
+
+  exp::CampaignOptions options;
+  options.trials = static_cast<std::int32_t>(parser.get_int("trials"));
+  options.seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+  for (const auto& panel : exp::figure9_panels()) {
+    exp::run_and_report_panel(panel, options, parser.get_flag("csv"));
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// google-benchmark micro bench of the core primitives: power evaluation,
+// path enumeration and min-cost extraction, virtual spreads, Frank–Wolfe
+// iterations and simulator cycle throughput.
+#include <benchmark/benchmark.h>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/mesh/rectangle.hpp"
+#include "pamr/opt/frank_wolfe.hpp"
+#include "pamr/opt/path_enum.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/sim/simulator.hpp"
+
+namespace {
+
+using namespace pamr;
+
+void BM_MeshConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Mesh(static_cast<std::int32_t>(state.range(0)),
+                                  static_cast<std::int32_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MeshConstruction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_TotalPower(benchmark::State& state) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  Rng rng(1);
+  std::vector<double> loads(static_cast<std::size_t>(mesh.num_links()));
+  for (auto& load : loads) load = rng.uniform(0.0, 3500.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.total_power(loads));
+  }
+}
+BENCHMARK(BM_TotalPower);
+
+void BM_EnumeratePaths(benchmark::State& state) {
+  const Mesh mesh(8, 8);
+  const CommRect rect(mesh, {0, 0},
+                      {static_cast<std::int32_t>(state.range(0)),
+                       static_cast<std::int32_t>(state.range(0))});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enumerate_manhattan_paths(rect));
+  }
+}
+BENCHMARK(BM_EnumeratePaths)->Arg(3)->Arg(5)->Arg(7);
+
+void BM_MinCostPath(benchmark::State& state) {
+  const Mesh mesh(8, 8);
+  const CommRect rect(mesh, {0, 0}, {7, 7});
+  Rng rng(2);
+  std::vector<double> costs(static_cast<std::size_t>(mesh.num_links()));
+  for (auto& cost : costs) cost = rng.uniform(0.1, 10.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(min_cost_manhattan_path(
+        rect, [&](LinkId link) { return costs[static_cast<std::size_t>(link)]; }));
+  }
+}
+BENCHMARK(BM_MinCostPath);
+
+void BM_FrankWolfe(benchmark::State& state) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  Rng rng(3);
+  UniformWorkload spec;
+  spec.num_comms = static_cast<std::int32_t>(state.range(0));
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  FrankWolfeOptions options;
+  options.max_iterations = 30;
+  options.relative_gap = 0.0;  // fixed work per call
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_max_mp(mesh, comms, model, options));
+  }
+}
+BENCHMARK(BM_FrankWolfe)->Arg(10)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  const Mesh mesh(8, 8);
+  Rng rng(4);
+  UniformWorkload spec;
+  spec.num_comms = 20;
+  spec.weight_lo = 200.0;
+  spec.weight_hi = 1000.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  const PowerModel model = PowerModel::paper_discrete();
+  const RouteResult routed = PathRemoverRouter().route(mesh, comms, model);
+  sim::SimConfig config;
+  config.cycles = state.range(0);
+  config.warmup = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(mesh, comms, *routed.routing, config));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorCycles)->Arg(1000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

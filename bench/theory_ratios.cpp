@@ -1,0 +1,79 @@
+// §4 theoretical ratios, measured.
+//
+//   * Theorem 1: single source/destination — P_XY / P_maxMP grows Θ(p) on
+//     the explicit Figure-4 diffusion pattern (square 2p'×2p' mesh).
+//   * Lemma 2: multiple sources/destinations — P_XY / P_1MP grows
+//     Θ(p^{α-1}) on the staircase instance of Figure 5.
+//   * Lemma 1: the max-MP split bound C(p+q-2, p-1).
+// The fitted growth exponents (log-log slope between successive sizes) are
+// printed next to each series.
+#include <cmath>
+#include <cstdio>
+
+#include "pamr/theory/path_count.hpp"
+#include "pamr/theory/worst_case.hpp"
+#include "pamr/util/csv.hpp"
+
+int main() {
+  using namespace pamr;
+  const double alpha = 3.0;
+  const PowerModel model = PowerModel::theory(alpha);
+
+  {
+    Table table({"p (mesh p x p)", "P_XY", "P_pattern", "ratio", "local exponent"});
+    table.set_double_precision(3);
+    double previous_ratio = 0.0;
+    std::int32_t previous_p = 0;
+    for (const std::int32_t half : {1, 2, 4, 8, 16, 32}) {
+      const Theorem1Pattern pattern = build_theorem1_pattern(half, 1.0, model);
+      const std::int32_t p = 2 * half;
+      double exponent = 0.0;
+      if (previous_p > 0) {
+        exponent = std::log(pattern.ratio / previous_ratio) /
+                   std::log(static_cast<double>(p) / previous_p);
+      }
+      table.add_row({std::int64_t{p}, pattern.xy_power, pattern.pattern_power,
+                     pattern.ratio, exponent});
+      previous_ratio = pattern.ratio;
+      previous_p = p;
+    }
+    std::printf(
+        "== Theorem 1: P_XY/P_maxMP on the corner-to-corner diffusion pattern ==\n"
+        "(expected growth Theta(p): local exponent -> 1)\n%s\n",
+        table.to_text().c_str());
+  }
+
+  {
+    Table table({"p' (mesh (p'+1)^2)", "P_XY", "P_YX (1-MP)", "ratio", "local exponent"});
+    table.set_double_precision(3);
+    double previous_ratio = 0.0;
+    std::int32_t previous_p = 0;
+    for (const std::int32_t p_prime : {2, 4, 8, 16, 32, 64}) {
+      const Lemma2Instance instance = build_lemma2_instance(p_prime, model);
+      double exponent = 0.0;
+      if (previous_p > 0) {
+        exponent = std::log(instance.ratio / previous_ratio) /
+                   std::log(static_cast<double>(p_prime) / previous_p);
+      }
+      table.add_row({std::int64_t{p_prime}, instance.xy_power, instance.yx_power,
+                     instance.ratio, exponent});
+      previous_ratio = instance.ratio;
+      previous_p = p_prime;
+    }
+    std::printf(
+        "== Lemma 2: P_XY/P_1MP on the staircase instance ==\n"
+        "(expected growth Theta(p^(alpha-1)) = Theta(p^2): local exponent -> 2)\n%s\n",
+        table.to_text().c_str());
+  }
+
+  {
+    Table table({"p (mesh p x p)", "Manhattan paths C(2p-2, p-1)"});
+    for (const std::int32_t p : {2, 4, 8, 12, 16}) {
+      table.add_row({std::int64_t{p},
+                     static_cast<std::int64_t>(corner_to_corner_paths(p, p))});
+    }
+    std::printf("== Lemma 1: corner-to-corner path counts (max-MP split bound) ==\n%s\n",
+                table.to_text().c_str());
+  }
+  return 0;
+}

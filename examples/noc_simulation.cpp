@@ -1,0 +1,73 @@
+// Dynamic validation of a static routing: route a workload with XY and with
+// the Manhattan portfolio, then replay both on the cycle-level NoC
+// simulator. The statically overloaded XY routing visibly fails to deliver
+// its traffic (saturated links, growing source backlog), while the valid
+// Manhattan routing sustains it.
+//
+//   $ ./build/examples/noc_simulation [--comms N] [--cycles C]
+#include <cstdio>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/routing/deadlock.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/sim/simulator.hpp"
+#include "pamr/util/args.hpp"
+#include "pamr/util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pamr;
+  ArgParser parser("noc_simulation", "replay static routings on the NoC simulator");
+  parser.add_int("comms", 24, "number of communications");
+  parser.add_int("cycles", 30000, "simulated cycles");
+  parser.add_int("seed", 11, "workload seed");
+  int exit_code = 0;
+  if (!parser.parse(argc, argv, exit_code)) return exit_code;
+
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+  UniformWorkload spec;
+  spec.num_comms = static_cast<std::int32_t>(parser.get_int("comms"));
+  spec.weight_lo = 400.0;
+  spec.weight_hi = 2200.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  std::printf("workload: %d communications, total %.1f Mb/s\n", spec.num_comms,
+              total_weight(comms));
+
+  sim::SimConfig config;
+  config.cycles = parser.get_int("cycles");
+  config.warmup = config.cycles / 5;
+
+  Table table({"policy", "statically valid", "peak link load (Mb/s)",
+               "delivery ratio", "mean latency (cycles)", "total backlog (flits)",
+               "CDG cyclic", "safe w/ quadrant VCs"});
+  table.set_double_precision(3);
+  for (const RouterKind kind : {RouterKind::kXY, RouterKind::kBest}) {
+    const RouteResult result = make_router(kind)->route(mesh, comms, model);
+    const LinkLoads loads = loads_of_routing(mesh, *result.routing);
+    const bool risky = has_deadlock_risk(mesh, *result.routing);
+    const bool vc_safe = verify_vc_acyclic(mesh, comms, *result.routing);
+    const sim::SimStats stats = sim::simulate(mesh, comms, *result.routing, config);
+    double latency_sum = 0.0;
+    std::int64_t delivered = 0;
+    std::int64_t backlog = 0;
+    for (const auto& flow : stats.per_subflow) {
+      latency_sum += flow.latency_sum;
+      delivered += flow.delivered_flits;
+      backlog += flow.backlog;
+    }
+    table.add_row({std::string{to_cstring(kind)},
+                   std::string{result.valid ? "yes" : "NO"}, loads.max_load(),
+                   stats.delivery_ratio(),
+                   delivered > 0 ? latency_sum / static_cast<double>(delivered) : 0.0,
+                   static_cast<std::int64_t>(backlog),
+                   std::string{risky ? "yes" : "no"},
+                   std::string{vc_safe ? "yes" : "NO"}});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "reading: a statically valid routing (peak load <= 3500 Mb/s) delivers\n"
+      "~100%% of its offered traffic; an overloaded one saturates and backlogs.\n");
+  return 0;
+}

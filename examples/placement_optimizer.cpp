@@ -1,0 +1,74 @@
+// Power-aware placement: close the loop above the paper's routing problem.
+// The paper assumes tasks are "already mapped to a core"; this example
+// shows how much that mapping matters — it compares random, row-major and
+// optimizer-found placements of three applications by the power of their
+// routed communications.
+//
+//   $ ./build/examples/placement_optimizer [--seed N]
+#include <cstdio>
+
+#include "pamr/map/placement.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/util/args.hpp"
+#include "pamr/util/csv.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pamr;
+  ArgParser parser("placement_optimizer", "optimize task placements for routed power");
+  parser.add_int("seed", 321, "initial-placement seed");
+  int exit_code = 0;
+  if (!parser.parse(argc, argv, exit_code)) return exit_code;
+  const auto seed = static_cast<std::uint64_t>(parser.get_int("seed"));
+
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph pipe = TaskGraph::pipeline(8, 1500.0);
+  const TaskGraph fork = TaskGraph::fork_join(5, 700.0);
+  const TaskGraph stencil = TaskGraph::stencil(4, 3, 500.0);
+  const std::vector<const TaskGraph*> apps{&pipe, &fork, &stencil};
+
+  // Helper evaluating a set of mappings with the full BEST portfolio.
+  const auto evaluate = [&](const std::vector<Mapping>& mappings) {
+    std::vector<MappedApplication> mapped;
+    for (std::size_t a = 0; a < apps.size(); ++a) {
+      mapped.push_back(MappedApplication{apps[a], mappings[a]});
+    }
+    const CommSet comms = extract_communications(mapped);
+    return BestRouter().route(mesh, comms, model);
+  };
+
+  Table table({"placement", "valid", "BEST power (mW)", "swap moves"});
+  table.set_double_precision(2);
+
+  {  // Random placement (no optimization passes).
+    Rng rng(seed);
+    PlacementOptions no_opt;
+    no_opt.max_passes = 0;
+    const PlacementResult random = optimize_placement(mesh, apps, model, rng, no_opt);
+    const RouteResult routed = evaluate(random.mappings);
+    table.add_row({std::string{"random"}, std::string{routed.valid ? "yes" : "NO"},
+                   routed.valid ? routed.power : 0.0, std::int64_t{0}});
+  }
+  {  // Row-major packing.
+    std::vector<Mapping> mappings{map_row_major(pipe, mesh, {0, 0}),
+                                  map_row_major(fork, mesh, {2, 0}),
+                                  map_row_major(stencil, mesh, {4, 0})};
+    const RouteResult routed = evaluate(mappings);
+    table.add_row({std::string{"row-major"}, std::string{routed.valid ? "yes" : "NO"},
+                   routed.valid ? routed.power : 0.0, std::int64_t{0}});
+  }
+  {  // Optimizer.
+    Rng rng(seed);
+    const PlacementResult optimized = optimize_placement(mesh, apps, model, rng);
+    const RouteResult routed = evaluate(optimized.mappings);
+    table.add_row({std::string{"optimized"}, std::string{routed.valid ? "yes" : "NO"},
+                   routed.valid ? routed.power : 0.0,
+                   static_cast<std::int64_t>(optimized.swaps)});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "reading: the optimizer starts from the random placement and swaps tasks\n"
+      "until the routed power stops improving — typically beating row-major,\n"
+      "which ignores inter-application interference.\n");
+  return 0;
+}

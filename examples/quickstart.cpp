@@ -1,0 +1,58 @@
+// Quickstart: route a handful of communications on an 8×8 CMP with every
+// policy and print the resulting powers — the 60-second tour of the API.
+//
+//   $ ./build/examples/quickstart
+#include <cstdio>
+
+#include "pamr/routing/routers.hpp"
+#include "pamr/util/csv.hpp"
+#include "pamr/util/string_util.hpp"
+
+int main() {
+  using namespace pamr;
+
+  // 1. The platform: an 8×8 mesh with Kim–Horowitz scalable links
+  //    (1 / 2.5 / 3.5 Gb/s, Pleak = 16.9 mW, P0 = 5.41, α = 2.95).
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+
+  // 2. The workload: communications γ = (source, sink, Mb/s), e.g. as they
+  //    come out of mapped applications.
+  const CommSet comms{
+      {{0, 0}, {5, 6}, 1800.0},  // heavy south-east stream
+      {{0, 0}, {5, 6}, 1400.0},  // second stream on the same pair
+      {{7, 1}, {2, 5}, 2200.0},  // north-east stream crossing the first two
+      {{3, 3}, {3, 7}, 900.0},   // straight horizontal
+      {{6, 6}, {1, 6}, 700.0},   // straight vertical
+  };
+
+  // 3. Route with every policy and compare.
+  Table table({"policy", "valid", "power (mW)", "static (mW)", "dynamic (mW)",
+               "time (ms)"});
+  table.set_double_precision(2);
+  for (const RouterKind kind : all_base_routers()) {
+    const RouteResult result = make_router(kind)->route(mesh, comms, model);
+    table.add_row({std::string{to_cstring(kind)},
+                   std::string{result.valid ? "yes" : "NO"},
+                   result.valid ? result.power : 0.0,
+                   result.valid ? result.breakdown.static_part : 0.0,
+                   result.valid ? result.breakdown.dynamic_part : 0.0,
+                   result.elapsed_ms});
+  }
+  const RouteResult best = BestRouter().route(mesh, comms, model);
+  table.add_row({std::string{"BEST"}, std::string{best.valid ? "yes" : "NO"},
+                 best.power, best.breakdown.static_part, best.breakdown.dynamic_part,
+                 best.elapsed_ms});
+  std::printf("%s\n", table.to_text().c_str());
+
+  // 4. Inspect the winning routing.
+  if (best.valid) {
+    std::printf("BEST routing (%s total):\n",
+                format_power_mw(best.power).c_str());
+    for (std::size_t i = 0; i < comms.size(); ++i) {
+      std::printf("  %s\n    via %s\n", to_string(comms[i]).c_str(),
+                  to_string(mesh, best.routing->per_comm[i].flows[0].path).c_str());
+    }
+  }
+  return best.valid ? 0 : 1;
+}

@@ -1,0 +1,64 @@
+// Classic NoC traffic patterns under XY vs power-aware Manhattan routing.
+// Structured permutations (transpose, bit-complement, ...) are where
+// oblivious XY hurts the most — this example sweeps the per-flow bandwidth
+// and reports the last sustainable intensity and the power gap.
+//
+//   $ ./build/examples/traffic_patterns
+#include <cstdio>
+
+#include "pamr/comm/traffic_pattern.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/util/csv.hpp"
+
+int main() {
+  using namespace pamr;
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  Rng rng(77);
+
+  Table table({"pattern", "weight (Mb/s)", "XY power", "BEST power", "gain",
+               "XY max weight", "BEST max weight"});
+  table.set_double_precision(2);
+
+  for (const TrafficPattern pattern : all_traffic_patterns()) {
+    PatternSpec spec;
+    spec.pattern = pattern;
+    spec.hotspot = {3, 4};
+
+    // Power comparison at a moderate intensity.
+    spec.weight = 700.0;
+    const CommSet comms = generate_pattern(mesh, spec, rng);
+    const RouteResult xy = XYRouter().route(mesh, comms, model);
+    const RouteResult best = BestRouter().route(mesh, comms, model);
+
+    // Saturation sweep: largest per-flow weight each policy still routes.
+    auto max_weight = [&](auto&& route) {
+      double sustained = 0.0;
+      for (double weight = 100.0; weight <= 3500.0; weight += 100.0) {
+        PatternSpec probe = spec;
+        probe.weight = weight;
+        Rng probe_rng(77);
+        const CommSet probe_comms = generate_pattern(mesh, probe, probe_rng);
+        if (route(probe_comms)) sustained = weight;
+      }
+      return sustained;
+    };
+    const double xy_max = max_weight([&](const CommSet& c) {
+      return XYRouter().route(mesh, c, model).valid;
+    });
+    const double best_max = max_weight([&](const CommSet& c) {
+      return BestRouter().route(mesh, c, model).valid;
+    });
+
+    table.add_row({std::string{to_cstring(pattern)}, spec.weight,
+                   xy.valid ? xy.power : 0.0, best.valid ? best.power : 0.0,
+                   (xy.valid && best.valid) ? xy.power / best.power : 0.0,
+                   xy_max, best_max});
+  }
+  std::printf("%s\n", table.to_text().c_str());
+  std::printf(
+      "reading: 'gain' is XY power over BEST power at 700 Mb/s per flow (0 =\n"
+      "policy failed); the max-weight columns show how much further Manhattan\n"
+      "routing pushes each pattern before links saturate.\n");
+  return 0;
+}

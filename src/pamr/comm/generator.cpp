@@ -1,0 +1,66 @@
+#include "pamr/comm/generator.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+CommSet generate_uniform(const Mesh& mesh, const UniformWorkload& spec, Rng& rng) {
+  PAMR_CHECK(spec.num_comms >= 0, "negative communication count");
+  PAMR_CHECK(spec.weight_lo > 0.0 && spec.weight_hi >= spec.weight_lo,
+             "bad weight range");
+  PAMR_CHECK(mesh.num_cores() >= 2, "need at least two cores for src != snk");
+  CommSet comms;
+  comms.reserve(static_cast<std::size_t>(spec.num_comms));
+  for (std::int32_t i = 0; i < spec.num_comms; ++i) {
+    const auto src_index =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(mesh.num_cores())));
+    std::int32_t snk_index = src_index;
+    while (snk_index == src_index) {
+      snk_index = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(mesh.num_cores())));
+    }
+    comms.push_back(Communication{mesh.core_coord(src_index), mesh.core_coord(snk_index),
+                                  rng.uniform(spec.weight_lo, spec.weight_hi)});
+  }
+  return comms;
+}
+
+std::vector<Coord> cores_at_distance(const Mesh& mesh, Coord src, std::int32_t distance) {
+  std::vector<Coord> out;
+  if (distance <= 0) return out;
+  // Walk the L1 circle |du| + |dv| = distance and keep in-mesh cells.
+  for (std::int32_t du = -distance; du <= distance; ++du) {
+    const std::int32_t rest = distance - (du < 0 ? -du : du);
+    const Coord a{src.u + du, src.v + rest};
+    if (mesh.contains(a)) out.push_back(a);
+    if (rest != 0) {
+      const Coord b{src.u + du, src.v - rest};
+      if (mesh.contains(b)) out.push_back(b);
+    }
+  }
+  return out;
+}
+
+CommSet generate_with_length(const Mesh& mesh, std::int32_t num_comms, double weight_lo,
+                             double weight_hi, std::int32_t length, Rng& rng) {
+  PAMR_CHECK(num_comms >= 0, "negative communication count");
+  const std::int32_t max_length = mesh.p() + mesh.q() - 2;
+  const std::int32_t target = std::clamp<std::int32_t>(length, 1, max_length);
+  CommSet comms;
+  comms.reserve(static_cast<std::size_t>(num_comms));
+  while (std::cmp_less(comms.size(), num_comms)) {
+    const auto src_index =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(mesh.num_cores())));
+    const Coord src = mesh.core_coord(src_index);
+    const auto candidates = cores_at_distance(mesh, src, target);
+    if (candidates.empty()) continue;  // corner sources may not reach far enough
+    const Coord snk = candidates[rng.below(candidates.size())];
+    comms.push_back(Communication{src, snk, rng.uniform(weight_lo, weight_hi)});
+  }
+  return comms;
+}
+
+}  // namespace pamr

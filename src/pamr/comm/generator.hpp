@@ -1,0 +1,38 @@
+// Random workload generators for the §6 simulation campaigns.
+//
+// §6.1/§6.2 draw source and sink cores uniformly at random (distinct) and
+// weights uniformly in a panel-specific range. §6.3 additionally constrains
+// the Manhattan length of every communication to a target value.
+#pragma once
+
+#include <cstdint>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/util/rng.hpp"
+
+namespace pamr {
+
+struct UniformWorkload {
+  std::int32_t num_comms = 0;
+  double weight_lo = 100.0;   ///< Mb/s, inclusive
+  double weight_hi = 1500.0;  ///< Mb/s, exclusive
+};
+
+/// Uniform endpoints (src ≠ snk), uniform weights.
+[[nodiscard]] CommSet generate_uniform(const Mesh& mesh, const UniformWorkload& spec,
+                                       Rng& rng);
+
+/// §6.3 generator: every communication has Manhattan length exactly
+/// `length` (clamped to [1, p+q-2]); endpoints drawn uniformly among the
+/// admissible pairs via rejection on the source.
+[[nodiscard]] CommSet generate_with_length(const Mesh& mesh, std::int32_t num_comms,
+                                           double weight_lo, double weight_hi,
+                                           std::int32_t length, Rng& rng);
+
+/// All (src, snk) pairs at the given L1 distance — used by tests and by the
+/// length-constrained generator's sink sampling.
+[[nodiscard]] std::vector<Coord> cores_at_distance(const Mesh& mesh, Coord src,
+                                                   std::int32_t distance);
+
+}  // namespace pamr

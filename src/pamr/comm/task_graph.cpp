@@ -1,0 +1,162 @@
+#include "pamr/comm/task_graph.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <utility>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+TaskGraph::TaskGraph(std::string name) : name_(std::move(name)) {}
+
+TaskId TaskGraph::add_task(std::string label) {
+  labels_.push_back(std::move(label));
+  return static_cast<TaskId>(labels_.size() - 1);
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to, double bandwidth) {
+  PAMR_CHECK(from >= 0 && from < num_tasks(), "edge source out of range");
+  PAMR_CHECK(to >= 0 && to < num_tasks(), "edge sink out of range");
+  PAMR_CHECK(from != to, "self-edges are not meaningful");
+  PAMR_CHECK(bandwidth > 0.0, "edge bandwidth must be positive");
+  edges_.push_back(Edge{from, to, bandwidth});
+}
+
+const std::string& TaskGraph::label(TaskId task) const {
+  PAMR_CHECK(task >= 0 && task < num_tasks(), "task id out of range");
+  return labels_[static_cast<std::size_t>(task)];
+}
+
+bool TaskGraph::is_acyclic() const {
+  // Kahn's algorithm.
+  std::vector<std::int32_t> in_degree(static_cast<std::size_t>(num_tasks()), 0);
+  for (const Edge& e : edges_) ++in_degree[static_cast<std::size_t>(e.to)];
+  std::vector<TaskId> frontier;
+  for (TaskId t = 0; t < num_tasks(); ++t) {
+    if (in_degree[static_cast<std::size_t>(t)] == 0) frontier.push_back(t);
+  }
+  std::int32_t visited = 0;
+  while (!frontier.empty()) {
+    const TaskId t = frontier.back();
+    frontier.pop_back();
+    ++visited;
+    for (const Edge& e : edges_) {
+      if (e.from != t) continue;
+      if (--in_degree[static_cast<std::size_t>(e.to)] == 0) frontier.push_back(e.to);
+    }
+  }
+  return visited == num_tasks();
+}
+
+TaskGraph TaskGraph::pipeline(std::int32_t stages, double bandwidth) {
+  PAMR_CHECK(stages >= 1, "pipeline needs at least one stage");
+  TaskGraph graph("pipeline");
+  for (std::int32_t s = 0; s < stages; ++s) {
+    (void)graph.add_task("stage_" + std::to_string(s));
+  }
+  for (std::int32_t s = 0; s + 1 < stages; ++s) {
+    graph.add_edge(s, s + 1, bandwidth);
+  }
+  return graph;
+}
+
+TaskGraph TaskGraph::fork_join(std::int32_t workers, double bandwidth) {
+  PAMR_CHECK(workers >= 1, "fork_join needs at least one worker");
+  TaskGraph graph("fork_join");
+  const TaskId source = graph.add_task("source");
+  std::vector<TaskId> mids;
+  mids.reserve(static_cast<std::size_t>(workers));
+  for (std::int32_t w = 0; w < workers; ++w) {
+    mids.push_back(graph.add_task("worker_" + std::to_string(w)));
+  }
+  const TaskId sink = graph.add_task("sink");
+  for (const TaskId mid : mids) {
+    graph.add_edge(source, mid, bandwidth);
+    graph.add_edge(mid, sink, bandwidth);
+  }
+  return graph;
+}
+
+TaskGraph TaskGraph::stencil(std::int32_t width, std::int32_t height, double bandwidth) {
+  PAMR_CHECK(width >= 1 && height >= 1, "stencil dimensions must be positive");
+  TaskGraph graph("stencil");
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      (void)graph.add_task("cell_" + std::to_string(y) + "_" + std::to_string(x));
+    }
+  }
+  const auto id = [width](std::int32_t y, std::int32_t x) { return y * width + x; };
+  for (std::int32_t y = 0; y < height; ++y) {
+    for (std::int32_t x = 0; x < width; ++x) {
+      if (x + 1 < width) graph.add_edge(id(y, x), id(y, x + 1), bandwidth);
+      if (y + 1 < height) graph.add_edge(id(y, x), id(y + 1, x), bandwidth);
+    }
+  }
+  return graph;
+}
+
+Mapping map_row_major(const TaskGraph& graph, const Mesh& mesh, Coord origin) {
+  PAMR_CHECK(mesh.contains(origin), "origin outside mesh");
+  const std::int32_t start = mesh.core_index(origin);
+  PAMR_CHECK(start + graph.num_tasks() <= mesh.num_cores(),
+             "application does not fit from the given origin");
+  Mapping mapping;
+  mapping.task_to_core.reserve(static_cast<std::size_t>(graph.num_tasks()));
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    mapping.task_to_core.push_back(mesh.core_coord(start + t));
+  }
+  return mapping;
+}
+
+Mapping map_random(const TaskGraph& graph, const Mesh& mesh, Rng& rng) {
+  PAMR_CHECK(graph.num_tasks() <= mesh.num_cores(), "more tasks than cores");
+  std::vector<std::int32_t> cores(static_cast<std::size_t>(mesh.num_cores()));
+  std::iota(cores.begin(), cores.end(), 0);
+  rng.shuffle(cores);
+  Mapping mapping;
+  mapping.task_to_core.reserve(static_cast<std::size_t>(graph.num_tasks()));
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    mapping.task_to_core.push_back(mesh.core_coord(cores[static_cast<std::size_t>(t)]));
+  }
+  return mapping;
+}
+
+CommSet extract_communications(const std::vector<MappedApplication>& apps,
+                               bool merge_parallel) {
+  CommSet comms;
+  for (const auto& app : apps) {
+    PAMR_CHECK(app.graph != nullptr, "null task graph");
+    PAMR_CHECK(app.graph->is_acyclic(), "application '" + app.graph->name() +
+                                            "' has a cycle");
+    PAMR_CHECK(std::cmp_equal(app.mapping.task_to_core.size(),
+                              app.graph->num_tasks()),
+               "mapping size mismatch for '" + app.graph->name() + "'");
+    for (const auto& edge : app.graph->edges()) {
+      const Coord src = app.mapping.task_to_core[static_cast<std::size_t>(edge.from)];
+      const Coord snk = app.mapping.task_to_core[static_cast<std::size_t>(edge.to)];
+      if (src == snk) continue;  // same core: no network traffic
+      comms.push_back(Communication{src, snk, edge.bandwidth});
+    }
+  }
+  if (!merge_parallel) return comms;
+
+  std::map<std::pair<std::pair<std::int32_t, std::int32_t>,
+                     std::pair<std::int32_t, std::int32_t>>,
+           double>
+      merged;
+  for (const auto& comm : comms) {
+    merged[{{comm.src.u, comm.src.v}, {comm.snk.u, comm.snk.v}}] += comm.weight;
+  }
+  CommSet out;
+  out.reserve(merged.size());
+  for (const auto& [key, weight] : merged) {
+    out.push_back(Communication{{key.first.first, key.first.second},
+                                {key.second.first, key.second.second},
+                                weight});
+  }
+  return out;
+}
+
+}  // namespace pamr

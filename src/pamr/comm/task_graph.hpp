@@ -1,0 +1,94 @@
+// Application task graphs (paper §1: "several applications, described as
+// task graphs, are executed on a CMP, and each task is already mapped to a
+// core").
+//
+// This module provides the system-level front end: applications are DAGs of
+// tasks with per-edge bandwidth demands; a Mapping assigns tasks to cores;
+// extract_communications() flattens one or more mapped applications into
+// the CommSet the routing layer consumes (dropping intra-core edges and
+// merging parallel demands between the same core pair, since the routing
+// problem only sees aggregate δ per source/sink pair... the paper keeps
+// communications separate per γ_i, so merging is optional and off by
+// default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/util/rng.hpp"
+
+namespace pamr {
+
+using TaskId = std::int32_t;
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(std::string name = "app");
+
+  TaskId add_task(std::string label);
+  /// Adds a directed bandwidth demand (Mb/s) between two existing tasks.
+  void add_edge(TaskId from, TaskId to, double bandwidth);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::int32_t num_tasks() const noexcept {
+    return static_cast<std::int32_t>(labels_.size());
+  }
+  struct Edge {
+    TaskId from;
+    TaskId to;
+    double bandwidth;
+  };
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+  [[nodiscard]] const std::string& label(TaskId task) const;
+
+  /// True iff the edge relation is acyclic (applications are DAGs; cycles
+  /// indicate a modelling error and are rejected by extract_communications).
+  [[nodiscard]] bool is_acyclic() const;
+
+  // -- Canonical application shapes used by the examples and tests --------
+
+  /// stage_0 → stage_1 → … → stage_{n-1}, constant bandwidth.
+  [[nodiscard]] static TaskGraph pipeline(std::int32_t stages, double bandwidth);
+
+  /// source → n workers → sink (scatter/gather), constant bandwidth.
+  [[nodiscard]] static TaskGraph fork_join(std::int32_t workers, double bandwidth);
+
+  /// w×h grid of tasks, edges to east and south neighbours (a stencil halo
+  /// exchange flattened to its steady-state bandwidth).
+  [[nodiscard]] static TaskGraph stencil(std::int32_t width, std::int32_t height,
+                                         double bandwidth);
+
+ private:
+  std::string name_;
+  std::vector<std::string> labels_;
+  std::vector<Edge> edges_;
+};
+
+/// Task → core assignment for one application.
+struct Mapping {
+  std::vector<Coord> task_to_core;
+};
+
+/// Row-major placement of tasks starting at `origin` (wraps to the next row
+/// of the mesh); CHECKs that the application fits.
+[[nodiscard]] Mapping map_row_major(const TaskGraph& graph, const Mesh& mesh,
+                                    Coord origin);
+
+/// Uniform random placement onto distinct cores; CHECKs that tasks ≤ cores.
+[[nodiscard]] Mapping map_random(const TaskGraph& graph, const Mesh& mesh, Rng& rng);
+
+struct MappedApplication {
+  const TaskGraph* graph;
+  Mapping mapping;
+};
+
+/// Flattens mapped applications into the routing layer's communication set.
+/// Intra-core edges vanish (no link traffic); when `merge_parallel` is set,
+/// demands between the same (src, snk) core pair are summed into one γ.
+[[nodiscard]] CommSet extract_communications(
+    const std::vector<MappedApplication>& apps, bool merge_parallel = false);
+
+}  // namespace pamr

@@ -1,0 +1,97 @@
+#include "pamr/comm/traffic_pattern.hpp"
+
+#include <bit>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+const char* to_cstring(TrafficPattern pattern) noexcept {
+  switch (pattern) {
+    case TrafficPattern::kTranspose: return "transpose";
+    case TrafficPattern::kBitComplement: return "bit-complement";
+    case TrafficPattern::kBitReverse: return "bit-reverse";
+    case TrafficPattern::kShuffle: return "shuffle";
+    case TrafficPattern::kHotspot: return "hotspot";
+    case TrafficPattern::kNeighbor: return "neighbor";
+  }
+  return "?";
+}
+
+std::vector<TrafficPattern> all_traffic_patterns() {
+  return {TrafficPattern::kTranspose, TrafficPattern::kBitComplement,
+          TrafficPattern::kBitReverse, TrafficPattern::kShuffle,
+          TrafficPattern::kHotspot,   TrafficPattern::kNeighbor};
+}
+
+namespace {
+
+std::uint32_t reverse_bits(std::uint32_t value, int bits) {
+  std::uint32_t out = 0;
+  for (int b = 0; b < bits; ++b) {
+    out = (out << 1) | ((value >> b) & 1U);
+  }
+  return out;
+}
+
+Coord destination_of(const Mesh& mesh, const PatternSpec& spec, Coord src) {
+  const auto cores = static_cast<std::uint32_t>(mesh.num_cores());
+  switch (spec.pattern) {
+    case TrafficPattern::kTranspose:
+      return {src.v, src.u};
+    case TrafficPattern::kBitComplement:
+      return {mesh.p() - 1 - src.u, mesh.q() - 1 - src.v};
+    case TrafficPattern::kBitReverse: {
+      const int bits = std::countr_zero(cores);
+      const auto index = static_cast<std::uint32_t>(mesh.core_index(src));
+      return mesh.core_coord(static_cast<std::int32_t>(reverse_bits(index, bits)));
+    }
+    case TrafficPattern::kShuffle: {
+      const int bits = std::countr_zero(cores);
+      const auto index = static_cast<std::uint32_t>(mesh.core_index(src));
+      const std::uint32_t rotated =
+          ((index << 1) | (index >> (bits - 1))) & (cores - 1U);
+      return mesh.core_coord(static_cast<std::int32_t>(rotated));
+    }
+    case TrafficPattern::kHotspot:
+      return spec.hotspot;
+    case TrafficPattern::kNeighbor:
+      return {src.u, (src.v + 1) % mesh.q()};
+  }
+  return src;  // unreachable
+}
+
+}  // namespace
+
+CommSet generate_pattern(const Mesh& mesh, const PatternSpec& spec, Rng& rng) {
+  PAMR_CHECK(spec.weight > 0.0, "pattern weight must be positive");
+  PAMR_CHECK(spec.weight_jitter >= 0.0 && spec.weight_jitter < 1.0,
+             "jitter must be in [0, 1)");
+  if (spec.pattern == TrafficPattern::kTranspose) {
+    PAMR_CHECK(mesh.p() == mesh.q(), "transpose needs a square mesh");
+  }
+  if (spec.pattern == TrafficPattern::kBitReverse ||
+      spec.pattern == TrafficPattern::kShuffle) {
+    PAMR_CHECK(std::has_single_bit(static_cast<std::uint32_t>(mesh.num_cores())),
+               "bit patterns need a power-of-two core count");
+  }
+  if (spec.pattern == TrafficPattern::kHotspot) {
+    PAMR_CHECK(mesh.contains(spec.hotspot), "hotspot outside mesh");
+  }
+
+  CommSet comms;
+  comms.reserve(static_cast<std::size_t>(mesh.num_cores()));
+  for (std::int32_t index = 0; index < mesh.num_cores(); ++index) {
+    const Coord src = mesh.core_coord(index);
+    const Coord snk = destination_of(mesh, spec, src);
+    if (snk == src) continue;
+    double weight = spec.weight;
+    if (spec.weight_jitter > 0.0) {
+      weight *= rng.uniform(1.0 - spec.weight_jitter, 1.0 + spec.weight_jitter);
+    }
+    comms.push_back(Communication{src, snk, weight});
+  }
+  return comms;
+}
+
+}  // namespace pamr

@@ -1,0 +1,44 @@
+// Classic synthetic NoC traffic patterns.
+//
+// The paper's campaigns draw endpoints uniformly at random; the example
+// applications additionally exercise the standard permutation patterns used
+// throughout the on-chip-network literature (Dally & Towles) — they stress
+// the routing heuristics in structured ways that uniform traffic does not
+// (e.g. transpose concentrates XY traffic on the diagonal).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/util/rng.hpp"
+
+namespace pamr {
+
+enum class TrafficPattern {
+  kTranspose,      ///< (u, v) → (v, u); needs a square mesh
+  kBitComplement,  ///< (u, v) → (p-1-u, q-1-v)
+  kBitReverse,     ///< core index → bit-reversed index (pow-2 core count)
+  kShuffle,        ///< core index → rotate-left-1 of index (pow-2 core count)
+  kHotspot,        ///< every non-hotspot core sends to a fixed hotspot core
+  kNeighbor,       ///< (u, v) → (u, v+1 mod q), east nearest-neighbour
+};
+
+[[nodiscard]] const char* to_cstring(TrafficPattern pattern) noexcept;
+[[nodiscard]] std::vector<TrafficPattern> all_traffic_patterns();
+
+struct PatternSpec {
+  TrafficPattern pattern = TrafficPattern::kTranspose;
+  double weight = 500.0;        ///< Mb/s per communication
+  double weight_jitter = 0.0;   ///< ± uniform jitter fraction (0 = none)
+  Coord hotspot{0, 0};          ///< used by kHotspot only
+};
+
+/// Generates one communication per eligible source core (self-loops are
+/// dropped). CHECKs mesh-shape preconditions (square / power-of-two).
+[[nodiscard]] CommSet generate_pattern(const Mesh& mesh, const PatternSpec& spec,
+                                       Rng& rng);
+
+}  // namespace pamr

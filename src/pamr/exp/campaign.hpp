@@ -1,0 +1,67 @@
+// Monte-Carlo campaign runner for the §6 figures.
+//
+// A plotted point is (workload spec, trial count); every trial draws a
+// fresh communication set from the spec with an RNG seeded by
+// (base seed, point id, trial id) — fully deterministic and independent of
+// the thread schedule — and runs all policies. Trials are distributed over
+// the global thread pool.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/exp/metrics.hpp"
+#include "pamr/power/power_model.hpp"
+
+namespace pamr {
+namespace exp {
+
+/// Declarative workload description (kept as plain data so campaigns are
+/// reproducible from their printed parameters alone).
+struct WorkloadSpec {
+  enum class Kind {
+    kUniform,      ///< §6.1/§6.2: random endpoints, U[lo,hi) weights
+    kFixedLength,  ///< §6.3: random endpoints at a fixed Manhattan distance
+  };
+  Kind kind = Kind::kUniform;
+  std::int32_t num_comms = 0;
+  double weight_lo = 100.0;
+  double weight_hi = 1500.0;
+  std::int32_t length = 0;  ///< kFixedLength only
+
+  [[nodiscard]] CommSet generate(const Mesh& mesh, Rng& rng) const;
+};
+
+struct PointSpec {
+  double x = 0.0;  ///< the figure's abscissa (nc, average weight, or length)
+  WorkloadSpec workload;
+};
+
+struct CampaignOptions {
+  std::int32_t trials = 300;
+  std::uint64_t seed = 0x9e3779b9ULL;
+};
+
+/// Number of trials from --trials/PAMR_TRIALS with a library default.
+[[nodiscard]] std::int32_t default_trials() noexcept;
+
+/// Runs one point; thread-parallel over trials.
+[[nodiscard]] PointAggregate run_point(const Mesh& mesh, const PowerModel& model,
+                                       const PointSpec& point,
+                                       const CampaignOptions& options,
+                                       std::uint64_t point_id);
+
+struct PanelResult {
+  std::vector<double> xs;
+  std::vector<PointAggregate> points;
+};
+
+/// Runs a sweep of points (a figure panel).
+[[nodiscard]] PanelResult run_panel(const Mesh& mesh, const PowerModel& model,
+                                    const std::vector<PointSpec>& points,
+                                    const CampaignOptions& options);
+
+}  // namespace exp
+}  // namespace pamr

@@ -1,0 +1,23 @@
+#include "pamr/exp/instance_runner.hpp"
+
+#include "pamr/routing/routers.hpp"
+
+namespace pamr {
+namespace exp {
+
+InstanceSample run_instance(const Mesh& mesh, const CommSet& comms,
+                            const PowerModel& model) {
+  std::array<HeuristicSample, kNumBaseRouters> base;
+  const auto kinds = all_base_routers();
+  for (std::size_t h = 0; h < kinds.size(); ++h) {
+    const RouteResult result = make_router(kinds[h])->route(mesh, comms, model);
+    base[h].valid = result.valid;
+    base[h].power = result.power;
+    base[h].static_power = result.breakdown.static_part;
+    base[h].elapsed_ms = result.elapsed_ms;
+  }
+  return make_instance_sample(base);
+}
+
+}  // namespace exp
+}  // namespace pamr

@@ -1,0 +1,19 @@
+// Runs the six base policies on one instance and folds the outcome into the
+// campaign's scalar samples. Routers are constructed once per call — they
+// are stateless, but constructing them here keeps the runner trivially
+// thread-safe (the campaign calls it from every pool worker).
+#pragma once
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/exp/metrics.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/power/power_model.hpp"
+
+namespace pamr {
+namespace exp {
+
+[[nodiscard]] InstanceSample run_instance(const Mesh& mesh, const CommSet& comms,
+                                          const PowerModel& model);
+
+}  // namespace exp
+}  // namespace pamr

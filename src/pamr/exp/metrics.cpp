@@ -1,0 +1,78 @@
+#include "pamr/exp/metrics.hpp"
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+namespace exp {
+
+const char* series_name(std::size_t series) noexcept {
+  switch (series) {
+    case 0: return "XY";
+    case 1: return "SG";
+    case 2: return "IG";
+    case 3: return "TB";
+    case 4: return "XYI";
+    case 5: return "PR";
+    case 6: return "BEST";
+    default: return "?";
+  }
+}
+
+InstanceSample make_instance_sample(
+    const std::array<HeuristicSample, kNumBaseRouters>& base) {
+  InstanceSample sample;
+  for (std::size_t h = 0; h < kNumBaseRouters; ++h) sample.series[h] = base[h];
+  // BEST: the valid base result with the lowest power; elapsed is the sum
+  // (BEST must run everything).
+  HeuristicSample best;
+  for (std::size_t h = 0; h < kNumBaseRouters; ++h) {
+    best.elapsed_ms += base[h].elapsed_ms;
+    if (!base[h].valid) continue;
+    if (!best.valid || base[h].power < best.power) {
+      const double elapsed = best.elapsed_ms;
+      best = base[h];
+      best.elapsed_ms = elapsed;
+    }
+  }
+  sample.series[kBestSeries] = best;
+  return sample;
+}
+
+void PointAggregate::add(const InstanceSample& sample) {
+  ++instances;
+  const HeuristicSample& best = sample.series[kBestSeries];
+  const double best_inverse = best.inverse_power();
+  for (std::size_t s = 0; s < kNumSeries; ++s) {
+    const HeuristicSample& heuristic = sample.series[s];
+    const double normalized =
+        best_inverse > 0.0 ? heuristic.inverse_power() / best_inverse : 0.0;
+    normalized_inverse[s].add(normalized);
+    inverse_power[s].add(heuristic.inverse_power());
+    elapsed_ms[s].add(heuristic.elapsed_ms);
+    if (!heuristic.valid) ++failures[s];
+  }
+  if (best.valid && best.power > 0.0) {
+    static_fraction.add(best.static_power / best.power);
+  }
+}
+
+void PointAggregate::merge(const PointAggregate& other) {
+  instances += other.instances;
+  for (std::size_t s = 0; s < kNumSeries; ++s) {
+    normalized_inverse[s].merge(other.normalized_inverse[s]);
+    inverse_power[s].merge(other.inverse_power[s]);
+    elapsed_ms[s].merge(other.elapsed_ms[s]);
+    failures[s] += other.failures[s];
+  }
+  static_fraction.merge(other.static_fraction);
+}
+
+double PointAggregate::failure_ratio(std::size_t series) const {
+  PAMR_CHECK(series < kNumSeries, "series index out of range");
+  return instances > 0
+             ? static_cast<double>(failures[series]) / static_cast<double>(instances)
+             : 0.0;
+}
+
+}  // namespace exp
+}  // namespace pamr

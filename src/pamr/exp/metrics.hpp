@@ -1,0 +1,60 @@
+// Per-instance and per-point metrics of the §6 simulation campaign.
+//
+// For every random instance the paper runs the six policies and BEST (the
+// per-instance winner), then plots per heuristic:
+//   * the normalized power inverse — (1/P_h)/(1/P_BEST), 0 on failure;
+//   * the failure ratio — fraction of instances with no valid routing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "pamr/routing/router.hpp"
+#include "pamr/util/stats.hpp"
+
+namespace pamr {
+namespace exp {
+
+/// The seven plotted series, in the paper's legend order.
+inline constexpr std::size_t kNumSeries = kNumBaseRouters + 1;
+inline constexpr std::size_t kBestSeries = kNumBaseRouters;  ///< index of BEST
+
+[[nodiscard]] const char* series_name(std::size_t series) noexcept;
+
+/// One heuristic's outcome on one instance (routings are dropped — the
+/// campaign only aggregates scalars).
+struct HeuristicSample {
+  bool valid = false;
+  double power = 0.0;
+  double static_power = 0.0;
+  double elapsed_ms = 0.0;
+
+  [[nodiscard]] double inverse_power() const noexcept {
+    return valid && power > 0.0 ? 1.0 / power : 0.0;
+  }
+};
+
+struct InstanceSample {
+  std::array<HeuristicSample, kNumSeries> series;  ///< six policies + BEST
+};
+
+[[nodiscard]] InstanceSample make_instance_sample(
+    const std::array<HeuristicSample, kNumBaseRouters>& base);
+
+/// Aggregates over the instances of one plotted point.
+struct PointAggregate {
+  std::array<RunningStats, kNumSeries> normalized_inverse;  ///< per series
+  std::array<std::size_t, kNumSeries> failures{};
+  std::array<RunningStats, kNumSeries> elapsed_ms;
+  std::array<RunningStats, kNumSeries> inverse_power;  ///< absolute 1/P (0 on failure)
+  RunningStats static_fraction;  ///< static/total of BEST, valid instances only
+  std::size_t instances = 0;
+
+  void add(const InstanceSample& sample);
+  void merge(const PointAggregate& other);
+
+  [[nodiscard]] double failure_ratio(std::size_t series) const;
+};
+
+}  // namespace exp
+}  // namespace pamr

@@ -1,0 +1,147 @@
+#include "pamr/exp/panels.hpp"
+
+#include <cstdio>
+
+#include "pamr/util/log.hpp"
+#include "pamr/util/timer.hpp"
+
+namespace pamr {
+namespace exp {
+
+namespace {
+
+PointSpec uniform_point(double x, std::int32_t num_comms, double lo, double hi) {
+  PointSpec point;
+  point.x = x;
+  point.workload.kind = WorkloadSpec::Kind::kUniform;
+  point.workload.num_comms = num_comms;
+  point.workload.weight_lo = lo;
+  point.workload.weight_hi = hi;
+  return point;
+}
+
+PointSpec length_point(double x, std::int32_t num_comms, double lo, double hi,
+                       std::int32_t length) {
+  PointSpec point;
+  point.x = x;
+  point.workload.kind = WorkloadSpec::Kind::kFixedLength;
+  point.workload.num_comms = num_comms;
+  point.workload.weight_lo = lo;
+  point.workload.weight_hi = hi;
+  point.workload.length = length;
+  return point;
+}
+
+Panel count_sweep(std::string name, double lo, double hi, std::int32_t max_comms,
+                  std::int32_t step) {
+  Panel panel;
+  panel.name = std::move(name);
+  panel.x_label = "num_comms";
+  for (std::int32_t n = step; n <= max_comms; n += step) {
+    panel.points.push_back(uniform_point(static_cast<double>(n), n, lo, hi));
+  }
+  return panel;
+}
+
+Panel weight_sweep(std::string name, std::int32_t num_comms) {
+  Panel panel;
+  panel.name = std::move(name);
+  panel.x_label = "avg_weight";
+  // Constant weights (see header); the interesting region is 100..3500, and
+  // the paper's cliff sits at 1751 = capacity/2 + ε, so sample that region
+  // densely.
+  for (double w : {100.0, 300.0, 500.0, 700.0, 900.0, 1100.0, 1300.0, 1500.0,
+                   1600.0, 1700.0, 1740.0, 1760.0, 1800.0, 1900.0, 2000.0, 2200.0,
+                   2400.0, 2600.0, 2800.0, 3000.0, 3200.0, 3400.0}) {
+    // A zero-width uniform range is degenerate; use ±1 Mb/s around w.
+    panel.points.push_back(uniform_point(w, num_comms, w - 1.0, w + 1.0));
+  }
+  return panel;
+}
+
+Panel length_sweep(std::string name, std::int32_t num_comms, double lo, double hi) {
+  Panel panel;
+  panel.name = std::move(name);
+  panel.x_label = "avg_length";
+  for (std::int32_t length = 2; length <= 14; ++length) {
+    panel.points.push_back(
+        length_point(static_cast<double>(length), num_comms, lo, hi, length));
+  }
+  return panel;
+}
+
+}  // namespace
+
+std::vector<Panel> figure7_panels() {
+  return {count_sweep("fig7a_small", 100.0, 1500.0, 140, 10),
+          count_sweep("fig7b_mixed", 100.0, 2500.0, 70, 5),
+          count_sweep("fig7c_big", 2500.0, 3500.0, 30, 2)};
+}
+
+std::vector<Panel> figure8_panels() {
+  return {weight_sweep("fig8a_few_10comms", 10), weight_sweep("fig8b_some_20comms", 20),
+          weight_sweep("fig8c_numerous_40comms", 40)};
+}
+
+std::vector<Panel> figure9_panels() {
+  return {length_sweep("fig9a_numerous_small", 100, 200.0, 800.0),
+          length_sweep("fig9b_some_mixed", 25, 100.0, 3500.0),
+          length_sweep("fig9c_few_big", 12, 2700.0, 3300.0)};
+}
+
+namespace {
+
+Table series_table(const Panel& panel, const PanelResult& result,
+                   double (*extract)(const PointAggregate&, std::size_t)) {
+  std::vector<std::string> header{panel.x_label};
+  for (std::size_t s = 0; s < kNumSeries; ++s) header.emplace_back(series_name(s));
+  Table table(std::move(header));
+  for (std::size_t i = 0; i < result.points.size(); ++i) {
+    std::vector<Cell> row;
+    row.emplace_back(result.xs[i]);
+    for (std::size_t s = 0; s < kNumSeries; ++s) {
+      row.emplace_back(extract(result.points[i], s));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+}  // namespace
+
+Table normalized_inverse_table(const Panel& panel, const PanelResult& result) {
+  return series_table(panel, result, [](const PointAggregate& point, std::size_t s) {
+    return point.normalized_inverse[s].mean();
+  });
+}
+
+Table failure_ratio_table(const Panel& panel, const PanelResult& result) {
+  return series_table(panel, result, [](const PointAggregate& point, std::size_t s) {
+    return point.failure_ratio(s);
+  });
+}
+
+void run_and_report_panel(const Panel& panel, const CampaignOptions& options,
+                          bool write_csv) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  const WallTimer timer;
+  const PanelResult result = run_panel(mesh, model, panel.points, options);
+
+  std::printf("== %s (%d trials/point, %.1fs) ==\n", panel.name.c_str(),
+              options.trials, timer.elapsed_seconds());
+  std::printf("-- normalized power inverse (1/P over 1/P_BEST; 0 = failure) --\n%s",
+              normalized_inverse_table(panel, result).to_text().c_str());
+  std::printf("-- failure ratio --\n%s\n",
+              failure_ratio_table(panel, result).to_text().c_str());
+
+  if (write_csv) {
+    const std::string base = output_directory() + "/" + panel.name;
+    (void)normalized_inverse_table(panel, result).write_csv(base + "_norm_inv_power.csv");
+    (void)failure_ratio_table(panel, result).write_csv(base + "_failure_ratio.csv");
+    PAMR_LOG_INFO("wrote " + base + "_{norm_inv_power,failure_ratio}.csv");
+  }
+}
+
+}  // namespace exp
+}  // namespace pamr

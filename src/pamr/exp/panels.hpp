@@ -1,0 +1,51 @@
+// The nine figure panels of §6, as declarative point sweeps, plus the
+// rendering helpers the bench binaries share. Parameters follow the paper:
+// 8×8 CMP, Kim–Horowitz discrete links, weights in Mb/s.
+//
+//  Figure 7 — sensitivity to the number of communications:
+//    (a) small  U[100, 1500),  nc = 0..140
+//    (b) mixed  U[100, 2500),  nc = 0..70
+//    (c) big    U[2500, 3500), nc = 0..30
+//  Figure 8 — sensitivity to the size (weight) of communications, constant
+//    weight per instance (DESIGN.md §3 documents the choice: the paper's
+//    "every communication reaches 1751 Mb/s" cliff pins the distribution to
+//    a degenerate one at the swept average):
+//    (a) few = 10, (b) some = 20, (c) numerous = 40 communications,
+//    weight swept 100..3500.
+//  Figure 9 — sensitivity to the Manhattan length, swept 2..14:
+//    (a) 100 comms U[200, 800), (b) 25 comms U[100, 3500),
+//    (c) 12 comms U[2700, 3300).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pamr/exp/campaign.hpp"
+#include "pamr/util/csv.hpp"
+
+namespace pamr {
+namespace exp {
+
+struct Panel {
+  std::string name;     ///< e.g. "fig7a_small"
+  std::string x_label;  ///< e.g. "num_comms"
+  std::vector<PointSpec> points;
+};
+
+[[nodiscard]] std::vector<Panel> figure7_panels();
+[[nodiscard]] std::vector<Panel> figure8_panels();
+[[nodiscard]] std::vector<Panel> figure9_panels();
+
+/// Tables mirroring the figure's two rows of plots: normalized power
+/// inverse and failure ratio per series.
+[[nodiscard]] Table normalized_inverse_table(const Panel& panel,
+                                             const PanelResult& result);
+[[nodiscard]] Table failure_ratio_table(const Panel& panel, const PanelResult& result);
+
+/// Runs a panel and prints/saves both tables (shared main body of the
+/// figure benches). CSVs land in output_directory()/<panel.name>_*.csv.
+void run_and_report_panel(const Panel& panel, const CampaignOptions& options,
+                          bool write_csv);
+
+}  // namespace exp
+}  // namespace pamr

@@ -1,0 +1,49 @@
+// Power-aware task placement (the system layer above the paper's problem).
+//
+// The paper takes the mapping of tasks to cores as given (§1: "each task is
+// already mapped to a core"). This module closes the loop for the example
+// applications: given several task graphs, it searches the placement space
+// with greedy pairwise swaps, scoring each candidate by the (penalized)
+// power of a fast routed solution — so placements are judged by what the
+// router can actually do with them, not by a hop-count proxy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/comm/task_graph.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/router.hpp"
+#include "pamr/util/rng.hpp"
+
+namespace pamr {
+
+struct PlacementOptions {
+  std::int32_t max_passes = 8;    ///< swap-improvement passes
+  RouterKind evaluator = RouterKind::kTB;  ///< fast scoring policy
+};
+
+struct PlacementResult {
+  std::vector<Mapping> mappings;  ///< one per input application
+  double score = 0.0;             ///< penalized routed cost of the placement
+  double power = 0.0;             ///< model power, defined iff `valid`
+  bool valid = false;             ///< the scored routing met all bandwidths
+  std::int32_t swaps = 0;         ///< accepted improvement swaps
+};
+
+/// Places all applications' tasks on distinct cores (random initial
+/// placement from `rng`, then greedy first-improvement swaps, including
+/// swaps with empty cores). CHECKs that the total task count fits the mesh.
+[[nodiscard]] PlacementResult optimize_placement(
+    const Mesh& mesh, const std::vector<const TaskGraph*>& apps,
+    const PowerModel& model, Rng& rng, const PlacementOptions& options = {});
+
+/// Scores an explicit set of mappings with the same objective the optimizer
+/// uses (penalized routed cost; lower is better).
+[[nodiscard]] double placement_score(const Mesh& mesh,
+                                     const std::vector<const TaskGraph*>& apps,
+                                     const std::vector<Mapping>& mappings,
+                                     const PowerModel& model,
+                                     RouterKind evaluator = RouterKind::kTB);
+
+}  // namespace pamr

@@ -1,0 +1,80 @@
+// Core coordinates and link directions on the p×q mesh.
+//
+// The paper indexes cores C(u,v) with 1 ≤ u ≤ p (row) and 1 ≤ v ≤ q
+// (column); this library uses the same (row, column) orientation but
+// 0-based indices: u ∈ [0, p), v ∈ [0, q). Rows grow downwards ("south"),
+// columns grow rightwards ("east"), matching the paper's figures where XY
+// routing moves horizontally (along v) first and vertically (along u)
+// second.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace pamr {
+
+struct Coord {
+  std::int32_t u = 0;  ///< row, 0-based
+  std::int32_t v = 0;  ///< column, 0-based
+
+  friend constexpr auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+[[nodiscard]] inline std::string to_string(Coord c) {
+  return "C(" + std::to_string(c.u) + "," + std::to_string(c.v) + ")";
+}
+
+/// Unidirectional link directions. South = +u, North = -u, East = +v,
+/// West = -v. The numeric values are used as array indices.
+enum class LinkDir : std::uint8_t { kEast = 0, kWest = 1, kSouth = 2, kNorth = 3 };
+
+inline constexpr int kNumLinkDirs = 4;
+
+[[nodiscard]] constexpr bool is_horizontal(LinkDir dir) noexcept {
+  return dir == LinkDir::kEast || dir == LinkDir::kWest;
+}
+
+[[nodiscard]] constexpr LinkDir opposite(LinkDir dir) noexcept {
+  switch (dir) {
+    case LinkDir::kEast: return LinkDir::kWest;
+    case LinkDir::kWest: return LinkDir::kEast;
+    case LinkDir::kSouth: return LinkDir::kNorth;
+    case LinkDir::kNorth: return LinkDir::kSouth;
+  }
+  return LinkDir::kEast;  // unreachable
+}
+
+[[nodiscard]] constexpr Coord step(Coord c, LinkDir dir) noexcept {
+  switch (dir) {
+    case LinkDir::kEast: return {c.u, c.v + 1};
+    case LinkDir::kWest: return {c.u, c.v - 1};
+    case LinkDir::kSouth: return {c.u + 1, c.v};
+    case LinkDir::kNorth: return {c.u - 1, c.v};
+  }
+  return c;  // unreachable
+}
+
+[[nodiscard]] constexpr const char* to_cstring(LinkDir dir) noexcept {
+  switch (dir) {
+    case LinkDir::kEast: return "E";
+    case LinkDir::kWest: return "W";
+    case LinkDir::kSouth: return "S";
+    case LinkDir::kNorth: return "N";
+  }
+  return "?";
+}
+
+/// Manhattan (L1) distance — the length of every shortest path, paper §3.3.
+[[nodiscard]] constexpr std::int32_t manhattan_distance(Coord a, Coord b) noexcept {
+  const std::int32_t du = a.u > b.u ? a.u - b.u : b.u - a.u;
+  const std::int32_t dv = a.v > b.v ? a.v - b.v : b.v - a.v;
+  return du + dv;
+}
+
+/// Sign helper used to orient monotone rectangles: -1, 0 or +1.
+[[nodiscard]] constexpr std::int32_t sign_of(std::int32_t x) noexcept {
+  return (x > 0) - (x < 0);
+}
+
+}  // namespace pamr

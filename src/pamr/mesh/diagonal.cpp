@@ -1,0 +1,87 @@
+#include "pamr/mesh/diagonal.hpp"
+
+#include <algorithm>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+Quadrant quadrant_of(Coord src, Coord snk) noexcept {
+  if (src.u <= snk.u) {
+    return src.v <= snk.v ? Quadrant::kSE : Quadrant::kSW;
+  }
+  return src.v > snk.v ? Quadrant::kNW : Quadrant::kNE;
+}
+
+std::int32_t diagonal_index(const Mesh& mesh, Quadrant d, Coord c) noexcept {
+  const std::int32_t p = mesh.p();
+  const std::int32_t q = mesh.q();
+  switch (d) {
+    case Quadrant::kSE: return c.u + c.v;
+    case Quadrant::kSW: return c.u + (q - 1 - c.v);
+    case Quadrant::kNW: return (p - 1 - c.u) + (q - 1 - c.v);
+    case Quadrant::kNE: return (p - 1 - c.u) + c.v;
+  }
+  return 0;  // unreachable
+}
+
+QuadrantSteps quadrant_steps(Quadrant d) noexcept {
+  switch (d) {
+    case Quadrant::kSE: return {LinkDir::kSouth, LinkDir::kEast};
+    case Quadrant::kSW: return {LinkDir::kSouth, LinkDir::kWest};
+    case Quadrant::kNW: return {LinkDir::kNorth, LinkDir::kWest};
+    case Quadrant::kNE: return {LinkDir::kNorth, LinkDir::kEast};
+  }
+  return {LinkDir::kSouth, LinkDir::kEast};  // unreachable
+}
+
+std::vector<Coord> diagonal_cores(const Mesh& mesh, Quadrant d, std::int32_t k) {
+  PAMR_CHECK(k >= 0 && k <= mesh.p() + mesh.q() - 2, "diagonal index out of range");
+  std::vector<Coord> cores;
+  for (std::int32_t u = 0; u < mesh.p(); ++u) {
+    for (std::int32_t v = 0; v < mesh.q(); ++v) {
+      const Coord c{u, v};
+      if (diagonal_index(mesh, d, c) == k) cores.push_back(c);
+    }
+  }
+  return cores;
+}
+
+std::vector<LinkId> diagonal_cut_links(const Mesh& mesh, Quadrant d, std::int32_t k) {
+  const QuadrantSteps steps = quadrant_steps(d);
+  std::vector<LinkId> cut;
+  for (const Coord c : diagonal_cores(mesh, d, k)) {
+    if (const LinkId vertical = mesh.link_from(c, steps.vertical);
+        vertical != kInvalidLink) {
+      cut.push_back(vertical);
+    }
+    if (const LinkId horizontal = mesh.link_from(c, steps.horizontal);
+        horizontal != kInvalidLink) {
+      cut.push_back(horizontal);
+    }
+  }
+  return cut;
+}
+
+std::int32_t diagonal_cut_size(const Mesh& mesh, Quadrant d, std::int32_t k) noexcept {
+  // Count without allocating: cores on diagonal k contribute one link per
+  // in-grid step direction. All four families are related by reflections,
+  // so the count only depends on (p, q, k).
+  const std::int32_t p = mesh.p();
+  const std::int32_t q = mesh.q();
+  if (k < 0 || k > p + q - 3) return 0;  // no cut after the last diagonal
+  (void)d;
+  std::int32_t count = 0;
+  // Family kSE canonical form: cores with u+v = k, u in [max(0,k-q+1),
+  // min(p-1,k)]; the south step needs u < p-1, the east step needs v < q-1,
+  // i.e. u > k-q+1.
+  const std::int32_t u_lo = std::max<std::int32_t>(0, k - (q - 1));
+  const std::int32_t u_hi = std::min<std::int32_t>(p - 1, k);
+  for (std::int32_t u = u_lo; u <= u_hi; ++u) {
+    if (u < p - 1) ++count;            // vertical step stays in grid
+    if (k - u < q - 1) ++count;        // horizontal step stays in grid
+  }
+  return count;
+}
+
+}  // namespace pamr

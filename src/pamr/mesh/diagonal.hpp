@@ -1,0 +1,60 @@
+// Diagonals D(d,k) of the paper (§3.3, Figure 1).
+//
+// Every Manhattan (shortest) path of a communication moves through a fixed
+// sequence of anti-diagonals of the mesh: one hop advances the diagonal
+// index by exactly one. The paper defines four diagonal families, one per
+// quadrant direction d ∈ {1,2,3,4}:
+//
+//   d=1 : snk is south-east of src (u and v both non-decreasing)
+//   d=2 : snk is south-west of src (u non-decreasing, v decreasing)
+//   d=3 : snk is north-west of src (u decreasing, v decreasing)
+//   d=4 : snk is north-east of src (u decreasing, v non-decreasing)
+//
+// We keep the paper's 1-based diagonal convention translated to 0-based
+// coordinates: k(d, c) ranges over [0, p+q-2] and every hop of a direction-d
+// path goes from diagonal k to diagonal k+1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/mesh/mesh.hpp"
+
+namespace pamr {
+
+/// Quadrant direction of a communication (the paper's d_i).
+enum class Quadrant : std::uint8_t { kSE = 0, kSW = 1, kNW = 2, kNE = 3 };
+
+inline constexpr int kNumQuadrants = 4;
+
+/// Direction of the communication src → snk, with the paper's tie rules
+/// (u_src ≤ u_snk and v_src ≤ v_snk → d=1, etc.).
+[[nodiscard]] Quadrant quadrant_of(Coord src, Coord snk) noexcept;
+
+/// 0-based diagonal index of core `c` in family `d`; in [0, p+q-2].
+[[nodiscard]] std::int32_t diagonal_index(const Mesh& mesh, Quadrant d, Coord c) noexcept;
+
+/// The two unit steps that advance a direction-d path by one diagonal:
+/// the vertical one and the horizontal one (e.g. kSE → {kSouth, kEast}).
+struct QuadrantSteps {
+  LinkDir vertical;
+  LinkDir horizontal;
+};
+[[nodiscard]] QuadrantSteps quadrant_steps(Quadrant d) noexcept;
+
+/// All cores on diagonal k of family d.
+[[nodiscard]] std::vector<Coord> diagonal_cores(const Mesh& mesh, Quadrant d,
+                                                std::int32_t k);
+
+/// All links going from diagonal k to diagonal k+1 of family d (the "cut"
+/// between consecutive diagonals used by the lower bounds and by IG/PR).
+[[nodiscard]] std::vector<LinkId> diagonal_cut_links(const Mesh& mesh, Quadrant d,
+                                                     std::int32_t k);
+
+/// Number of links in the cut between diagonals k and k+1 of family d —
+/// closed form matching the sums in the proofs of Theorems 1 and 2:
+/// 2k' for k' ≤ p-1, then 2p-1 on the long middle section, then symmetric.
+[[nodiscard]] std::int32_t diagonal_cut_size(const Mesh& mesh, Quadrant d,
+                                             std::int32_t k) noexcept;
+
+}  // namespace pamr

@@ -1,0 +1,78 @@
+#include "pamr/mesh/mesh.hpp"
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+Mesh::Mesh(std::int32_t p, std::int32_t q) : p_(p), q_(q) {
+  PAMR_CHECK(p >= 1 && q >= 1, "mesh dimensions must be positive");
+  link_of_core_dir_.assign(static_cast<std::size_t>(num_cores()) * kNumLinkDirs,
+                           kInvalidLink);
+  links_.reserve(static_cast<std::size_t>(2 * (p * (q - 1) + (p - 1) * q)));
+
+  // Enumerate links in a fixed, documented order: per core (row-major), per
+  // direction (E, W, S, N). The order is part of the library's determinism
+  // contract — link loads serialized by one build are comparable across
+  // runs.
+  for (std::int32_t u = 0; u < p_; ++u) {
+    for (std::int32_t v = 0; v < q_; ++v) {
+      const Coord from{u, v};
+      for (int d = 0; d < kNumLinkDirs; ++d) {
+        const auto dir = static_cast<LinkDir>(d);
+        const Coord to = step(from, dir);
+        if (!contains(to)) continue;
+        const auto id = static_cast<LinkId>(links_.size());
+        links_.push_back(LinkInfo{from, to, dir});
+        link_of_core_dir_[static_cast<std::size_t>(core_index(from)) * kNumLinkDirs +
+                          static_cast<std::size_t>(d)] = id;
+      }
+    }
+  }
+}
+
+LinkId Mesh::link_from(Coord from, LinkDir dir) const noexcept {
+  if (!contains(from)) return kInvalidLink;
+  return link_of_core_dir_[static_cast<std::size_t>(core_index(from)) * kNumLinkDirs +
+                           static_cast<std::size_t>(dir)];
+}
+
+LinkId Mesh::link_between(Coord from, Coord to) const {
+  PAMR_CHECK(contains(from) && contains(to), "link endpoints outside mesh");
+  PAMR_CHECK(manhattan_distance(from, to) == 1, "cores are not neighbours");
+  LinkDir dir = LinkDir::kEast;
+  if (to.v == from.v + 1) {
+    dir = LinkDir::kEast;
+  } else if (to.v == from.v - 1) {
+    dir = LinkDir::kWest;
+  } else if (to.u == from.u + 1) {
+    dir = LinkDir::kSouth;
+  } else {
+    dir = LinkDir::kNorth;
+  }
+  const LinkId id = link_from(from, dir);
+  PAMR_ASSERT(id != kInvalidLink);
+  return id;
+}
+
+const LinkInfo& Mesh::link(LinkId id) const {
+  PAMR_CHECK(id >= 0 && id < num_links(), "link id out of range");
+  return links_[static_cast<std::size_t>(id)];
+}
+
+std::vector<Coord> Mesh::successors(Coord c) const {
+  PAMR_CHECK(contains(c), "core outside mesh");
+  std::vector<Coord> out;
+  out.reserve(4);
+  for (int d = 0; d < kNumLinkDirs; ++d) {
+    const Coord to = step(c, static_cast<LinkDir>(d));
+    if (contains(to)) out.push_back(to);
+  }
+  return out;
+}
+
+std::string Mesh::describe_link(LinkId id) const {
+  const LinkInfo& info = link(id);
+  return to_string(info.from) + "->" + to_string(info.to);
+}
+
+}  // namespace pamr

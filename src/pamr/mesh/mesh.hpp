@@ -1,0 +1,74 @@
+// The CMP platform of the paper (§3.1): a p×q rectangular grid of
+// homogeneous cores with two unidirectional links between every pair of
+// neighbours. The Mesh owns the link numbering used everywhere else — link
+// loads, routings and power evaluation are all dense vectors indexed by
+// LinkId.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pamr/mesh/coord.hpp"
+
+namespace pamr {
+
+/// Dense link identifier, in [0, Mesh::num_links()).
+using LinkId = std::int32_t;
+inline constexpr LinkId kInvalidLink = -1;
+
+struct LinkInfo {
+  Coord from;
+  Coord to;
+  LinkDir dir = LinkDir::kEast;
+
+  [[nodiscard]] bool horizontal() const noexcept { return is_horizontal(dir); }
+};
+
+class Mesh {
+ public:
+  /// Builds a p×q mesh (p rows, q columns); both must be ≥ 1.
+  Mesh(std::int32_t p, std::int32_t q);
+
+  [[nodiscard]] std::int32_t p() const noexcept { return p_; }
+  [[nodiscard]] std::int32_t q() const noexcept { return q_; }
+  [[nodiscard]] std::int32_t num_cores() const noexcept { return p_ * q_; }
+  [[nodiscard]] std::int32_t num_links() const noexcept {
+    return static_cast<std::int32_t>(links_.size());
+  }
+
+  [[nodiscard]] bool contains(Coord c) const noexcept {
+    return c.u >= 0 && c.u < p_ && c.v >= 0 && c.v < q_;
+  }
+
+  [[nodiscard]] std::int32_t core_index(Coord c) const noexcept {
+    return c.u * q_ + c.v;
+  }
+  [[nodiscard]] Coord core_coord(std::int32_t index) const noexcept {
+    return {index / q_, index % q_};
+  }
+
+  /// The link leaving `from` in direction `dir`, or kInvalidLink at the mesh
+  /// boundary.
+  [[nodiscard]] LinkId link_from(Coord from, LinkDir dir) const noexcept;
+
+  /// The link from `from` to the *neighbouring* core `to`; CHECKs adjacency.
+  [[nodiscard]] LinkId link_between(Coord from, Coord to) const;
+
+  [[nodiscard]] const LinkInfo& link(LinkId id) const;
+  [[nodiscard]] const std::vector<LinkInfo>& links() const noexcept { return links_; }
+
+  /// Outgoing neighbours of a core (the paper's succ(u,v)): 2–4 cores.
+  [[nodiscard]] std::vector<Coord> successors(Coord c) const;
+
+  [[nodiscard]] std::string describe_link(LinkId id) const;
+
+ private:
+  std::int32_t p_;
+  std::int32_t q_;
+  std::vector<LinkInfo> links_;
+  std::vector<LinkId> link_of_core_dir_;  // num_cores × 4, kInvalidLink at borders
+};
+
+}  // namespace pamr

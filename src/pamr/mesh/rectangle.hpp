@@ -1,0 +1,82 @@
+// Oriented monotone rectangle of a communication.
+//
+// A Manhattan path from src to snk never leaves the axis-aligned bounding
+// rectangle of {src, snk} and only ever steps in the two directions of the
+// communication's quadrant. CommRect captures that sub-DAG: cells indexed
+// by "depth" (L1 distance from src), the ≤2 feasible steps out of each
+// cell, and the link cuts between consecutive depths. SG, IG, TB, PR, the
+// lower bounds, the exact solver and the Frank–Wolfe optimizer all walk
+// this structure instead of re-deriving the geometry.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/mesh/diagonal.hpp"
+#include "pamr/mesh/mesh.hpp"
+
+namespace pamr {
+
+class CommRect {
+ public:
+  CommRect(const Mesh& mesh, Coord src, Coord snk);
+
+  [[nodiscard]] const Mesh& mesh() const noexcept { return *mesh_; }
+  [[nodiscard]] Coord src() const noexcept { return src_; }
+  [[nodiscard]] Coord snk() const noexcept { return snk_; }
+  [[nodiscard]] Quadrant quadrant() const noexcept { return quadrant_; }
+
+  /// Absolute row/column extents and total path length (paper's ℓ_i).
+  [[nodiscard]] std::int32_t du() const noexcept { return du_; }
+  [[nodiscard]] std::int32_t dv() const noexcept { return dv_; }
+  [[nodiscard]] std::int32_t length() const noexcept { return du_ + dv_; }
+
+  [[nodiscard]] bool contains(Coord c) const noexcept;
+
+  /// L1 distance from src; defined for cells inside the rectangle.
+  [[nodiscard]] std::int32_t depth(Coord c) const noexcept;
+
+  /// Cells of the rectangle at the given depth t ∈ [0, length()], ordered by
+  /// increasing row offset.
+  [[nodiscard]] std::vector<Coord> cells_at_depth(std::int32_t t) const;
+
+  /// Number of cells at depth t (no allocation).
+  [[nodiscard]] std::int32_t width_at_depth(std::int32_t t) const noexcept;
+
+  struct Step {
+    LinkId link = kInvalidLink;
+    Coord to;
+  };
+
+  /// The ≤2 monotone steps from `c` that remain inside the rectangle
+  /// (vertical first, then horizontal, for deterministic iteration order).
+  [[nodiscard]] std::vector<Step> next_steps(Coord c) const;
+
+  /// All links crossing from depth t to depth t+1 inside the rectangle —
+  /// the per-communication cut used by IG's virtual pre-routing and PR.
+  [[nodiscard]] std::vector<LinkId> cut_links(std::int32_t t) const;
+
+  /// Number of links in cut t (closed form: cells at depth t each contribute
+  /// their in-rectangle steps).
+  [[nodiscard]] std::int32_t cut_size(std::int32_t t) const noexcept;
+
+  /// Every monotone link of the rectangle (union of all cuts).
+  [[nodiscard]] std::vector<LinkId> all_links() const;
+
+ private:
+  /// Offset of a cell from src along the quadrant's step directions:
+  /// a = rows advanced (0..du), b = columns advanced (0..dv).
+  [[nodiscard]] bool offsets(Coord c, std::int32_t& a, std::int32_t& b) const noexcept;
+  [[nodiscard]] Coord cell_at(std::int32_t a, std::int32_t b) const noexcept;
+
+  const Mesh* mesh_;
+  Coord src_;
+  Coord snk_;
+  Quadrant quadrant_;
+  std::int32_t du_;
+  std::int32_t dv_;
+  std::int32_t su_;  ///< row step sign (-1, 0, +1)
+  std::int32_t sv_;  ///< column step sign
+};
+
+}  // namespace pamr

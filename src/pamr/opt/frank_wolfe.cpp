@@ -1,0 +1,129 @@
+#include "pamr/opt/frank_wolfe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <vector>
+
+#include "pamr/mesh/rectangle.hpp"
+#include "pamr/opt/path_enum.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+namespace {
+
+/// Sparse per-communication flow: path (by link chain) → carried weight.
+using CommFlow = std::map<std::vector<LinkId>, double>;
+
+std::vector<double> loads_of_flows(const Mesh& mesh, const std::vector<CommFlow>& flows) {
+  std::vector<double> loads(static_cast<std::size_t>(mesh.num_links()), 0.0);
+  for (const CommFlow& flow : flows) {
+    for (const auto& [links, weight] : flow) {
+      for (const LinkId link : links) loads[static_cast<std::size_t>(link)] += weight;
+    }
+  }
+  return loads;
+}
+
+double dynamic_power(const std::vector<double>& loads, const PowerParams& params) {
+  double sum = 0.0;
+  for (const double load : loads) {
+    if (load > 0.0) sum += params.p0 * std::pow(load * params.load_unit, params.alpha);
+  }
+  return sum;
+}
+
+}  // namespace
+
+FrankWolfeResult solve_max_mp(const Mesh& mesh, const CommSet& comms,
+                              const PowerModel& model, const FrankWolfeOptions& options) {
+  PAMR_CHECK(options.max_iterations >= 1, "need at least one iteration");
+  const PowerParams& params = model.params();
+
+  std::vector<CommRect> rects;
+  rects.reserve(comms.size());
+  std::vector<CommFlow> flows(comms.size());
+  for (std::size_t i = 0; i < comms.size(); ++i) {
+    rects.emplace_back(mesh, comms[i].src, comms[i].snk);
+    flows[i][xy_path(mesh, comms[i].src, comms[i].snk).links] = comms[i].weight;
+  }
+
+  FrankWolfeResult result;
+  double best_lb = 0.0;
+  std::vector<double> marginal(static_cast<std::size_t>(mesh.num_links()), 0.0);
+
+  std::int32_t iteration = 0;
+  for (; iteration < options.max_iterations; ++iteration) {
+    const std::vector<double> loads = loads_of_flows(mesh, flows);
+    const double objective = dynamic_power(loads, params);
+
+    // ∇F: marginal cost of one more unit of load on each link.
+    for (std::size_t l = 0; l < loads.size(); ++l) {
+      marginal[l] = params.p0 * params.alpha * params.load_unit *
+                    std::pow(loads[l] * params.load_unit, params.alpha - 1.0);
+    }
+
+    // Linearized subproblem: per commodity, cheapest Manhattan path under
+    // the marginal costs.
+    double grad_dot_y = 0.0;
+    double grad_dot_x = 0.0;
+    for (std::size_t l = 0; l < loads.size(); ++l) grad_dot_x += marginal[l] * loads[l];
+    std::vector<Path> targets;
+    targets.reserve(comms.size());
+    for (std::size_t i = 0; i < comms.size(); ++i) {
+      Path target = min_cost_manhattan_path(
+          rects[i], [&](LinkId link) { return marginal[static_cast<std::size_t>(link)]; });
+      double path_cost = 0.0;
+      for (const LinkId link : target.links) {
+        path_cost += marginal[static_cast<std::size_t>(link)];
+      }
+      grad_dot_y += path_cost * comms[i].weight;
+      targets.push_back(std::move(target));
+    }
+
+    // FW minorant: F(x) + ∇F(x)ᵀ(y − x) lower-bounds the optimum.
+    best_lb = std::max(best_lb, objective + grad_dot_y - grad_dot_x);
+    const double gap = objective - best_lb;
+    if (gap <= options.relative_gap * std::max(objective, 1e-30)) {
+      result.converged = true;
+      break;
+    }
+
+    const double gamma = 2.0 / static_cast<double>(iteration + 2);
+    for (std::size_t i = 0; i < comms.size(); ++i) {
+      for (auto& [links, weight] : flows[i]) weight *= 1.0 - gamma;
+      flows[i][targets[i].links] += gamma * comms[i].weight;
+    }
+  }
+
+  // Extract the routing: drop ε-paths, renormalize to exactly δ_i.
+  result.iterations = iteration;
+  result.routing.per_comm.resize(comms.size());
+  for (std::size_t i = 0; i < comms.size(); ++i) {
+    CommRouting& routed = result.routing.per_comm[i];
+    const double threshold = options.min_flow_fraction * comms[i].weight;
+    double kept = 0.0;
+    for (const auto& [links, weight] : flows[i]) {
+      if (weight < threshold) continue;
+      Path path;
+      path.src = comms[i].src;
+      path.snk = comms[i].snk;
+      path.links = links;
+      routed.flows.push_back(RoutedFlow{std::move(path), weight});
+      kept += weight;
+    }
+    PAMR_ASSERT_MSG(kept > 0.0, "all flow paths fell below the drop threshold");
+    const double scale = comms[i].weight / kept;
+    for (RoutedFlow& flow : routed.flows) flow.weight *= scale;
+  }
+
+  const LinkLoads final_loads = loads_of_routing(mesh, result.routing);
+  std::vector<double> dense(final_loads.values().begin(), final_loads.values().end());
+  result.objective = dynamic_power(dense, params);
+  result.lower_bound = std::min(best_lb, result.objective);
+  return result;
+}
+
+}  // namespace pamr

@@ -1,0 +1,53 @@
+// Frank–Wolfe optimizer for the splittable (max-MP) routing relaxation.
+//
+// Relaxation solved:   min  F(x) = Σ_links P0 · (load_ℓ(x) · unit)^α
+// over all fractional multi-commodity flows x where commodity i ships δ_i
+// through its Manhattan rectangle DAG. F is convex (α > 1) and the feasible
+// set is a product of path polytopes, so Frank–Wolfe applies directly: the
+// linearized subproblem decomposes into one shortest-path computation per
+// commodity under marginal link costs F'(load) = P0·α·unit·(load·unit)^(α-1),
+// solved exactly by DP on the rectangle DAG.
+//
+// What the result means w.r.t. the paper:
+//  * `lower_bound` is a certified lower bound on the dynamic power of EVERY
+//    max-MP routing under the continuous model (standard FW minorant
+//    F(x_k) + ∇F(x_k)ᵀ(y_k − x_k)), hence also on every s-MP and 1-MP
+//    routing — the paper's "bound on the optimal solution" future-work item.
+//  * `routing` is an explicit multi-path routing whose dynamic power is
+//    `objective`; the number of paths per communication is at most the
+//    iteration count (Carathéodory would give fewer; we simply merge
+//    duplicates and drop ε-flows).
+//
+// Leakage and frequency quantization are deliberately outside the scope of
+// the relaxation (leakage makes the objective non-convex in the active-link
+// indicator); callers evaluate the returned routing under the full model
+// when they need the paper's §6 objective.
+#pragma once
+
+#include <cstdint>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/routing.hpp"
+
+namespace pamr {
+
+struct FrankWolfeOptions {
+  std::int32_t max_iterations = 200;
+  double relative_gap = 1e-4;       ///< stop when (F - LB)/max(F,ε) drops below
+  double min_flow_fraction = 1e-6;  ///< drop paths carrying less than this × δ
+};
+
+struct FrankWolfeResult {
+  Routing routing;           ///< fractional multi-path routing (max-MP)
+  double objective = 0.0;    ///< dynamic power of `routing` (continuous model)
+  double lower_bound = 0.0;  ///< certified LB on the optimal dynamic power
+  std::int32_t iterations = 0;
+  bool converged = false;    ///< relative_gap reached before max_iterations
+};
+
+[[nodiscard]] FrankWolfeResult solve_max_mp(const Mesh& mesh, const CommSet& comms,
+                                            const PowerModel& model,
+                                            const FrankWolfeOptions& options = {});
+
+}  // namespace pamr

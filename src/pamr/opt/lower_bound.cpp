@@ -1,0 +1,48 @@
+#include "pamr/opt/lower_bound.hpp"
+
+#include <cmath>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+std::vector<double> direction_cut_traffic(const Mesh& mesh, const CommSet& comms,
+                                          Quadrant direction) {
+  const std::size_t num_cuts = static_cast<std::size_t>(mesh.p() + mesh.q() - 2);
+  std::vector<double> traffic(num_cuts, 0.0);
+  for (const Communication& comm : comms) {
+    if (quadrant_of(comm.src, comm.snk) != direction) continue;
+    const std::int32_t k_src = diagonal_index(mesh, direction, comm.src);
+    const std::int32_t k_snk = diagonal_index(mesh, direction, comm.snk);
+    PAMR_ASSERT(k_snk >= k_src);
+    for (std::int32_t k = k_src; k < k_snk; ++k) {
+      traffic[static_cast<std::size_t>(k)] += comm.weight;
+    }
+  }
+  return traffic;
+}
+
+DiagonalBound diagonal_lower_bound(const Mesh& mesh, const CommSet& comms,
+                                   const PowerModel& model) {
+  const PowerParams& params = model.params();
+  DiagonalBound bound;
+  for (int d = 0; d < kNumQuadrants; ++d) {
+    const auto direction = static_cast<Quadrant>(d);
+    const std::vector<double> traffic = direction_cut_traffic(mesh, comms, direction);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < traffic.size(); ++k) {
+      if (traffic[k] <= 0.0) continue;
+      const std::int32_t m =
+          diagonal_cut_size(mesh, direction, static_cast<std::int32_t>(k));
+      PAMR_ASSERT(m > 0);
+      const double per_link = traffic[k] / static_cast<double>(m);
+      sum += static_cast<double>(m) * params.p0 *
+             std::pow(per_link * params.load_unit, params.alpha);
+    }
+    bound.per_direction[d] = sum;
+    bound.total += sum;
+  }
+  return bound;
+}
+
+}  // namespace pamr

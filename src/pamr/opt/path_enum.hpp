@@ -1,0 +1,38 @@
+// Manhattan path enumeration and minimum-cost path extraction on a
+// communication's rectangle DAG.
+//
+// Lemma 1: there are C(du+dv, du) Manhattan paths between opposite corners
+// of a (du+1)×(dv+1) rectangle. Enumeration is exponential in the rectangle
+// size and is used only by the exact solver and tests; the DP extractor is
+// linear in the rectangle and shared by the Frank–Wolfe optimizer and the
+// s-MP splitter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pamr/mesh/rectangle.hpp"
+#include "pamr/routing/path.hpp"
+
+namespace pamr {
+
+/// Number of Manhattan paths of the rectangle (C(du+dv, du)), saturating at
+/// std::uint64_t max; exact for every mesh this library can represent.
+[[nodiscard]] std::uint64_t count_manhattan_paths(std::int32_t du, std::int32_t dv) noexcept;
+
+/// All Manhattan paths from rect.src() to rect.snk(), in lexicographic order
+/// of step choices (vertical before horizontal). CHECKs that the count does
+/// not exceed `limit` (guards against accidental exponential blow-ups).
+[[nodiscard]] std::vector<Path> enumerate_manhattan_paths(const CommRect& rect,
+                                                          std::uint64_t limit = 1u << 20);
+
+/// Additive per-link cost oracle for path extraction.
+using LinkCostFn = std::function<double(LinkId)>;
+
+/// Minimum-total-cost Manhattan path by dynamic programming over the
+/// rectangle's depth levels; O(cells) evaluations. Ties prefer the vertical
+/// step (deterministic).
+[[nodiscard]] Path min_cost_manhattan_path(const CommRect& rect, const LinkCostFn& cost);
+
+}  // namespace pamr

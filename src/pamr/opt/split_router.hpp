@@ -1,0 +1,35 @@
+// Greedy s-MP splitting heuristic (the paper's concluding future-work item:
+// "it may be interesting to design multi-path heuristics, since these may
+// allow for an even better load-balance").
+//
+// Each communication (heaviest first) is split into s equal parts; each
+// part is routed on the minimum-cost-delta Manhattan path given the loads
+// accumulated so far (exact per-part optimum by DP — path costs are
+// additive over distinct links). Parts that end up on the same path are
+// merged, so a communication uses at most s distinct paths.
+#pragma once
+
+#include <cstdint>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/routing.hpp"
+#include "pamr/routing/validate.hpp"
+
+namespace pamr {
+
+struct SplitRouteResult {
+  Routing routing;
+  bool valid = false;
+  double power = 0.0;       ///< defined iff valid
+  PowerBreakdown breakdown; ///< defined iff valid
+  double elapsed_ms = 0.0;
+};
+
+/// `max_paths` is the rule's s ≥ 1. s = 1 degenerates to a DP-based
+/// single-path greedy (a useful baseline in its own right).
+[[nodiscard]] SplitRouteResult route_split(const Mesh& mesh, const CommSet& comms,
+                                           const PowerModel& model,
+                                           std::int32_t max_paths);
+
+}  // namespace pamr

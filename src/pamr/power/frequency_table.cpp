@@ -1,0 +1,30 @@
+#include "pamr/power/frequency_table.hpp"
+
+#include <algorithm>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+FrequencyTable::FrequencyTable(std::vector<double> frequencies)
+    : frequencies_(std::move(frequencies)) {
+  PAMR_CHECK(!frequencies_.empty(), "frequency table must not be empty");
+  std::sort(frequencies_.begin(), frequencies_.end());
+  frequencies_.erase(std::unique(frequencies_.begin(), frequencies_.end()),
+                     frequencies_.end());
+  PAMR_CHECK(frequencies_.front() > 0.0, "frequencies must be positive");
+}
+
+FrequencyTable FrequencyTable::kim_horowitz() {
+  return FrequencyTable({1000.0, 2500.0, 3500.0});
+}
+
+std::optional<double> FrequencyTable::quantize(double load_mbps) const noexcept {
+  if (load_mbps <= 0.0) return 0.0;
+  const auto it =
+      std::lower_bound(frequencies_.begin(), frequencies_.end(), load_mbps);
+  if (it == frequencies_.end()) return std::nullopt;
+  return *it;
+}
+
+}  // namespace pamr

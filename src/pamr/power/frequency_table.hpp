@@ -1,0 +1,37 @@
+// Discrete link frequencies (paper §6).
+//
+// "Given that implementing continuous frequencies is not practical, we use
+// the characteristics of the links described in [Kim & Horowitz 2002] …
+// three possible frequencies: 1 Gb/s, 2.5 Gb/s and 3.5 Gb/s." A link whose
+// traffic is D must run at the smallest table frequency ≥ D; if none
+// exists the link (and hence the routing) is infeasible.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace pamr {
+
+class FrequencyTable {
+ public:
+  /// `frequencies` are effective link bandwidths in Mb/s; they are sorted
+  /// and deduplicated. Must be non-empty, all positive.
+  explicit FrequencyTable(std::vector<double> frequencies);
+
+  /// The paper's table: {1000, 2500, 3500} Mb/s.
+  [[nodiscard]] static FrequencyTable kim_horowitz();
+
+  /// Smallest frequency ≥ load (Mb/s), or nullopt if load exceeds the top
+  /// frequency. quantize(0) is 0: an idle link is switched off, not clocked.
+  [[nodiscard]] std::optional<double> quantize(double load_mbps) const noexcept;
+
+  [[nodiscard]] double max_frequency() const noexcept { return frequencies_.back(); }
+  [[nodiscard]] const std::vector<double>& frequencies() const noexcept {
+    return frequencies_;
+  }
+
+ private:
+  std::vector<double> frequencies_;
+};
+
+}  // namespace pamr

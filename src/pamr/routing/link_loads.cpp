@@ -1,0 +1,73 @@
+#include "pamr/routing/link_loads.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+LinkLoads::LinkLoads(const Mesh& mesh)
+    : loads_(static_cast<std::size_t>(mesh.num_links()), 0.0) {}
+
+void LinkLoads::add(LinkId link, double weight) {
+  PAMR_ASSERT(link >= 0 && std::cmp_less(link, loads_.size()));
+  loads_[static_cast<std::size_t>(link)] += weight;
+  // Clamp tiny negative residue from remove-then-readd float cancellation.
+  if (loads_[static_cast<std::size_t>(link)] < 0.0) {
+    PAMR_ASSERT(loads_[static_cast<std::size_t>(link)] > -1e-6);
+    loads_[static_cast<std::size_t>(link)] = 0.0;
+  }
+}
+
+void LinkLoads::add_path(const Path& path, double weight) {
+  for (const LinkId link : path.links) add(link, weight);
+}
+
+void LinkLoads::add_routing(const Routing& routing) {
+  for (const auto& comm : routing.per_comm) {
+    for (const auto& flow : comm.flows) add_path(flow.path, flow.weight);
+  }
+}
+
+double LinkLoads::load(LinkId link) const {
+  PAMR_ASSERT(link >= 0 && std::cmp_less(link, loads_.size()));
+  return loads_[static_cast<std::size_t>(link)];
+}
+
+double LinkLoads::max_load() const noexcept {
+  double max_value = 0.0;
+  for (const double load : loads_) max_value = std::max(max_value, load);
+  return max_value;
+}
+
+void LinkLoads::clear() noexcept { std::fill(loads_.begin(), loads_.end(), 0.0); }
+
+LinkLoads loads_of_routing(const Mesh& mesh, const Routing& routing) {
+  LinkLoads loads(mesh);
+  loads.add_routing(routing);
+  return loads;
+}
+
+double LoadCost::operator()(double load) const noexcept {
+  if (load <= 0.0) return 0.0;
+  if (const auto power = model_->link_power(load); power.has_value()) return *power;
+  // Infeasible: continuous extension of the dynamic curve + linear penalty.
+  const PowerParams& params = model_->params();
+  const double capacity = model_->capacity();
+  const double dynamic = params.p0 * std::pow(load * params.load_unit, params.alpha);
+  // The penalty slope dwarfs any realistic power value (§6 powers are a few
+  // watts = a few thousand mW) so one Mb/s of overload always costs more
+  // than any feasible rearrangement saves.
+  constexpr double kOverloadPenaltyPerMbps = 1e4;
+  return params.p_leak + dynamic + kOverloadPenaltyPerMbps * (load - capacity);
+}
+
+double LoadCost::total(std::span<const double> loads) const noexcept {
+  double sum = 0.0;
+  for (const double load : loads) sum += (*this)(load);
+  return sum;
+}
+
+}  // namespace pamr

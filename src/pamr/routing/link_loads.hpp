@@ -1,0 +1,67 @@
+// Dense per-link load accounting and the penalized cost function the
+// heuristics minimize.
+//
+// The optimization objective of the paper is the total power given the
+// per-link traffic (§3.4). While a heuristic is mid-construction the loads
+// may temporarily exceed the link capacity (XYI starts from a possibly
+// infeasible XY routing); LoadCost therefore extends the power curve past
+// the capacity continuously and adds a steep linear penalty so that the
+// local search is always pulled back towards feasibility. The *final*
+// feasibility/power verdict is always taken from PowerModel on the finished
+// routing, never from LoadCost.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/routing.hpp"
+
+namespace pamr {
+
+class LinkLoads {
+ public:
+  explicit LinkLoads(const Mesh& mesh);
+
+  void add(LinkId link, double weight);
+  void add_path(const Path& path, double weight);
+  void add_routing(const Routing& routing);
+
+  [[nodiscard]] double load(LinkId link) const;
+  [[nodiscard]] std::span<const double> values() const noexcept { return loads_; }
+  [[nodiscard]] double max_load() const noexcept;
+
+  void clear() noexcept;
+
+ private:
+  std::vector<double> loads_;
+};
+
+/// Loads induced by a complete routing.
+[[nodiscard]] LinkLoads loads_of_routing(const Mesh& mesh, const Routing& routing);
+
+/// Heuristic link-cost oracle (see file comment).
+class LoadCost {
+ public:
+  explicit LoadCost(const PowerModel& model) noexcept : model_(&model) {}
+
+  /// Cost of one link at `load`: the model's power when feasible, the
+  /// continuous extension plus a steep overload penalty otherwise; 0 when
+  /// idle.
+  [[nodiscard]] double operator()(double load) const noexcept;
+
+  /// Cost difference of moving one link from `before` to `after`.
+  [[nodiscard]] double delta(double before, double after) const noexcept {
+    return (*this)(after) - (*this)(before);
+  }
+
+  /// Total penalized cost of a load vector (never fails, unlike
+  /// PowerModel::total_power).
+  [[nodiscard]] double total(std::span<const double> loads) const noexcept;
+
+ private:
+  const PowerModel* model_;
+};
+
+}  // namespace pamr

@@ -1,0 +1,194 @@
+// PR — path remover (paper §5.5).
+//
+// Every communication starts with its full Manhattan path DAG (all links of
+// its bounding rectangle) carrying the Figure-3 virtual spread: δ_i/m_t on
+// each of the m_t allowed links of diagonal cut t. Then, repeatedly:
+//
+//   * take the most loaded link;
+//   * among the communications still using it (heaviest first), remove the
+//     link from the first one whose cut keeps ≥ 2 links — in the monotone
+//     rectangle DAG this can never disconnect the source from the sink,
+//     which is the paper's "unless this removal would break its last
+//     remaining path" rule;
+//   * prune links that no longer lie on any surviving src→snk path (the
+//     paper's "path cleaning" examples are exactly the fixed point of this
+//     forward/backward reachability prune) and re-spread the load.
+//
+// The process stops when every communication retains a single path. Each
+// removal strictly shrinks the union of allowed links, so termination is
+// structural.
+#include <algorithm>
+#include <numeric>
+
+#include "pamr/mesh/rectangle.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/util/assert.hpp"
+#include "pamr/util/timer.hpp"
+
+namespace pamr {
+
+namespace {
+
+/// Per-communication path-DAG state.
+struct CommState {
+  CommRect rect;
+  std::vector<char> allowed;             ///< indexed by LinkId, 1 = usable
+  std::vector<std::vector<LinkId>> cuts; ///< allowed links per depth t
+
+  CommState(const Mesh& mesh, const Communication& comm)
+      : rect(mesh, comm.src, comm.snk),
+        allowed(static_cast<std::size_t>(mesh.num_links()), 0) {
+    cuts.resize(static_cast<std::size_t>(rect.length()));
+    for (std::int32_t t = 0; t < rect.length(); ++t) {
+      cuts[static_cast<std::size_t>(t)] = rect.cut_links(t);
+      for (const LinkId link : cuts[static_cast<std::size_t>(t)]) {
+        allowed[static_cast<std::size_t>(link)] = 1;
+      }
+    }
+  }
+
+  [[nodiscard]] bool is_single_path() const noexcept {
+    for (const auto& cut : cuts) {
+      if (cut.size() != 1) return false;
+    }
+    return true;
+  }
+
+  /// Adds (sign × δ/m_t) for every allowed link of every cut.
+  void apply_spread(double weight, LinkLoads& loads) const {
+    for (const auto& cut : cuts) {
+      PAMR_ASSERT(!cut.empty());
+      const double share = weight / static_cast<double>(cut.size());
+      for (const LinkId link : cut) loads.add(link, share);
+    }
+  }
+
+  /// Rebuilds `cuts` from `allowed`, dropping links that are not on any
+  /// surviving src→snk path (forward ∩ backward reachability over depths).
+  void prune(const Mesh& mesh) {
+    const std::int32_t len = rect.length();
+    if (len == 0) return;
+    // Reachability per cell, keyed by depth-local enumeration.
+    auto cell_key = [&](Coord c) {
+      return static_cast<std::size_t>(mesh.core_index(c));
+    };
+    std::vector<char> forward(static_cast<std::size_t>(mesh.num_cores()), 0);
+    forward[cell_key(rect.src())] = 1;
+    for (std::int32_t t = 0; t < len; ++t) {
+      for (const LinkId link : cuts[static_cast<std::size_t>(t)]) {
+        const LinkInfo& info = mesh.link(link);
+        if (forward[cell_key(info.from)] != 0) forward[cell_key(info.to)] = 1;
+      }
+    }
+    std::vector<char> backward(static_cast<std::size_t>(mesh.num_cores()), 0);
+    backward[cell_key(rect.snk())] = 1;
+    for (std::int32_t t = len - 1; t >= 0; --t) {
+      for (const LinkId link : cuts[static_cast<std::size_t>(t)]) {
+        const LinkInfo& info = mesh.link(link);
+        if (backward[cell_key(info.to)] != 0) backward[cell_key(info.from)] = 1;
+      }
+    }
+    for (auto& cut : cuts) {
+      std::erase_if(cut, [&](LinkId link) {
+        const LinkInfo& info = mesh.link(link);
+        const bool alive = allowed[static_cast<std::size_t>(link)] != 0 &&
+                           forward[cell_key(info.from)] != 0 &&
+                           backward[cell_key(info.to)] != 0;
+        if (!alive) allowed[static_cast<std::size_t>(link)] = 0;
+        return !alive;
+      });
+      PAMR_ASSERT_MSG(!cut.empty(), "prune emptied a cut — connectivity broken");
+    }
+  }
+
+  /// Extracts the unique remaining path once single-path.
+  [[nodiscard]] Path extract_path(const Mesh& mesh) const {
+    Path path;
+    path.src = rect.src();
+    path.snk = rect.snk();
+    path.links.reserve(cuts.size());
+    Coord at = rect.src();
+    for (const auto& cut : cuts) {
+      PAMR_ASSERT(cut.size() == 1);
+      const LinkInfo& info = mesh.link(cut.front());
+      PAMR_ASSERT(info.from == at);
+      path.links.push_back(cut.front());
+      at = info.to;
+    }
+    PAMR_ASSERT(at == rect.snk());
+    return path;
+  }
+};
+
+}  // namespace
+
+RouteResult PathRemoverRouter::route(const Mesh& mesh, const CommSet& comms,
+                                     const PowerModel& model) const {
+  const WallTimer timer;
+  LinkLoads loads(mesh);
+
+  std::vector<CommState> states;
+  states.reserve(comms.size());
+  for (const Communication& comm : comms) {
+    states.emplace_back(mesh, comm);
+    states.back().apply_spread(comm.weight, loads);
+  }
+
+  // Heaviest-first candidate order within a link (paper: "the largest
+  // communication that uses this link").
+  const std::vector<std::size_t> by_weight = order_by_decreasing_weight(comms);
+
+  std::vector<LinkId> order(static_cast<std::size_t>(mesh.num_links()));
+  std::iota(order.begin(), order.end(), LinkId{0});
+
+  std::size_t active = 0;
+  for (const auto& state : states) {
+    if (!state.is_single_path()) ++active;
+  }
+
+  while (active > 0) {
+    std::stable_sort(order.begin(), order.end(), [&loads](LinkId a, LinkId b) {
+      return loads.load(a) > loads.load(b);
+    });
+
+    bool removed = false;
+    for (const LinkId link : order) {
+      if (loads.load(link) <= 0.0) break;
+      for (const std::size_t index : by_weight) {
+        CommState& state = states[index];
+        if (state.allowed[static_cast<std::size_t>(link)] == 0) continue;
+        // Find the cut containing this link; removable iff it keeps ≥ 2
+        // links (see file comment: in the monotone DAG this preserves
+        // src→snk connectivity).
+        const std::int32_t t = [&] {
+          const LinkInfo& info = mesh.link(link);
+          return state.rect.depth(info.from);
+        }();
+        PAMR_ASSERT(t >= 0);
+        auto& cut = state.cuts[static_cast<std::size_t>(t)];
+        if (cut.size() < 2) continue;
+
+        state.apply_spread(-comms[index].weight, loads);
+        state.allowed[static_cast<std::size_t>(link)] = 0;
+        std::erase(cut, link);
+        state.prune(mesh);
+        state.apply_spread(comms[index].weight, loads);
+        if (state.is_single_path()) --active;
+        removed = true;
+        break;
+      }
+      if (removed) break;
+    }
+    PAMR_ASSERT_MSG(removed,
+                    "no removable link found while communications remain multi-path");
+  }
+
+  std::vector<Path> paths;
+  paths.reserve(comms.size());
+  for (const auto& state : states) paths.push_back(state.extract_path(mesh));
+  return finish(mesh, comms, model, make_single_path_routing(comms, std::move(paths)),
+                timer.elapsed_ms());
+}
+
+}  // namespace pamr

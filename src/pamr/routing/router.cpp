@@ -1,0 +1,62 @@
+#include "pamr/routing/router.hpp"
+
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+const char* to_cstring(RouterKind kind) noexcept {
+  switch (kind) {
+    case RouterKind::kXY: return "XY";
+    case RouterKind::kSG: return "SG";
+    case RouterKind::kIG: return "IG";
+    case RouterKind::kTB: return "TB";
+    case RouterKind::kXYI: return "XYI";
+    case RouterKind::kPR: return "PR";
+    case RouterKind::kBest: return "BEST";
+  }
+  return "?";
+}
+
+std::vector<RouterKind> all_base_routers() {
+  return {RouterKind::kXY, RouterKind::kSG,  RouterKind::kIG,
+          RouterKind::kTB, RouterKind::kXYI, RouterKind::kPR};
+}
+
+RouteResult Router::finish(const Mesh& mesh, const CommSet& comms,
+                           const PowerModel& model, Routing routing,
+                           double elapsed_ms) {
+  RouteResult result;
+  result.elapsed_ms = elapsed_ms;
+  // All §5 heuristics are single-path; multi-path callers go through the
+  // opt/ layer which validates with its own s. Structure must always hold —
+  // a structurally broken routing is a bug, not a "failure".
+  const ValidationResult structure = validate_structure(mesh, comms, routing, 1);
+  PAMR_ASSERT_MSG(structure.ok, structure.error.c_str());
+
+  const LinkLoads loads = loads_of_routing(mesh, routing);
+  if (const auto breakdown = model.breakdown(loads.values()); breakdown.has_value()) {
+    result.valid = true;
+    result.power = breakdown->total;
+    result.breakdown = *breakdown;
+  }
+  result.routing = std::move(routing);
+  return result;
+}
+
+std::unique_ptr<Router> make_router(RouterKind kind) {
+  switch (kind) {
+    case RouterKind::kXY: return std::make_unique<XYRouter>();
+    case RouterKind::kSG: return std::make_unique<SimpleGreedyRouter>();
+    case RouterKind::kIG: return std::make_unique<ImprovedGreedyRouter>();
+    case RouterKind::kTB: return std::make_unique<TwoBendRouter>();
+    case RouterKind::kXYI: return std::make_unique<XYImproverRouter>();
+    case RouterKind::kPR: return std::make_unique<PathRemoverRouter>();
+    case RouterKind::kBest: return std::make_unique<BestRouter>();
+  }
+  PAMR_CHECK(false, "unknown router kind");
+  return nullptr;  // unreachable
+}
+
+}  // namespace pamr

@@ -1,0 +1,66 @@
+// Router interface and registry for the paper's routing policies (§5/§6):
+// XY, SG (simple greedy), IG (improved greedy), TB (two-bend), XYI (XY
+// improver), PR (path remover), and the BEST meta-heuristic.
+//
+// A router always *constructs* a routing; the RouteResult records whether
+// that routing is valid under the model (the paper's "failure" outcome is
+// an infeasible or absent routing). Power figures are only present for
+// valid results.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/routing.hpp"
+#include "pamr/routing/validate.hpp"
+
+namespace pamr {
+
+enum class RouterKind : std::uint8_t { kXY = 0, kSG, kIG, kTB, kXYI, kPR, kBest };
+
+inline constexpr std::size_t kNumBaseRouters = 6;  // all but kBest
+
+[[nodiscard]] const char* to_cstring(RouterKind kind) noexcept;
+
+/// The six concrete policies, in the paper's presentation order.
+[[nodiscard]] std::vector<RouterKind> all_base_routers();
+
+struct RouteResult {
+  std::optional<Routing> routing;  ///< constructed routing (may be invalid)
+  bool valid = false;              ///< feasibility under the model
+  double power = 0.0;              ///< total power, defined iff valid
+  PowerBreakdown breakdown;        ///< static/dynamic split, defined iff valid
+  double elapsed_ms = 0.0;         ///< wall-clock construction time
+
+  /// The paper's plotted metric: 1/P for a valid routing, 0 on failure.
+  [[nodiscard]] double inverse_power() const noexcept {
+    return valid && power > 0.0 ? 1.0 / power : 0.0;
+  }
+};
+
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// Builds a routing for `comms` on `mesh` under `model`. Implementations
+  /// must be deterministic functions of their arguments.
+  [[nodiscard]] virtual RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                          const PowerModel& model) const = 0;
+
+ protected:
+  /// Shared epilogue: validates, evaluates power and stamps the result.
+  [[nodiscard]] static RouteResult finish(const Mesh& mesh, const CommSet& comms,
+                                          const PowerModel& model, Routing routing,
+                                          double elapsed_ms);
+};
+
+[[nodiscard]] std::unique_ptr<Router> make_router(RouterKind kind);
+
+}  // namespace pamr

@@ -1,0 +1,74 @@
+// Concrete router classes (paper §5). Each lives in its own translation
+// unit; the algorithmic interpretation choices are documented there and
+// summarized in DESIGN.md §3.
+#pragma once
+
+#include "pamr/routing/router.hpp"
+
+namespace pamr {
+
+/// XY routing (§1): horizontal first, then vertical. The baseline.
+class XYRouter final : public Router {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "XY"; }
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const override;
+};
+
+/// SG — simple greedy (§5.1): communications by decreasing weight, path
+/// built hop by hop onto the least-loaded feasible next link, ties broken
+/// toward the source–sink diagonal.
+class SimpleGreedyRouter final : public Router {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "SG"; }
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const override;
+};
+
+/// IG — improved greedy (§5.2): virtual diagonal-spread pre-routing, then
+/// per-communication commitment guided by a per-cut lower bound.
+class ImprovedGreedyRouter final : public Router {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "IG"; }
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const override;
+};
+
+/// TB — two-bend (§5.3): evaluates every Manhattan path with at most two
+/// bends (|Δu| + |Δv| of them) and keeps the cheapest.
+class TwoBendRouter final : public Router {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "TB"; }
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const override;
+};
+
+/// XYI — XY improver (§5.4): local search from the XY routing, unloading
+/// the most-loaded links via elementary staircase detours.
+class XYImproverRouter final : public Router {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "XYI"; }
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const override;
+};
+
+/// PR — path remover (§5.5): starts from the all-paths virtual spread and
+/// deletes links from the most-loaded ones until each communication keeps a
+/// single path.
+class PathRemoverRouter final : public Router {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "PR"; }
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const override;
+};
+
+/// BEST (§6): runs all six base policies and returns the valid result with
+/// the lowest power (elapsed time is the sum over all of them).
+class BestRouter final : public Router {
+ public:
+  [[nodiscard]] const char* name() const noexcept override { return "BEST"; }
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const override;
+};
+
+}  // namespace pamr

@@ -1,0 +1,18 @@
+#include "pamr/routing/routing.hpp"
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+Routing make_single_path_routing(const CommSet& comms, std::vector<Path> paths) {
+  PAMR_CHECK(comms.size() == paths.size(), "one path per communication required");
+  Routing routing;
+  routing.per_comm.resize(comms.size());
+  for (std::size_t i = 0; i < comms.size(); ++i) {
+    routing.per_comm[i].flows.push_back(
+        RoutedFlow{std::move(paths[i]), comms[i].weight});
+  }
+  return routing;
+}
+
+}  // namespace pamr

@@ -1,0 +1,47 @@
+// A routing (paper §3.4): for every communication γ_i, a splitting into at
+// most s flows and a path per flow. Single-path rules (XY, 1-MP) use one
+// flow of the full weight.
+#pragma once
+
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/routing/path.hpp"
+
+namespace pamr {
+
+struct RoutedFlow {
+  Path path;
+  double weight = 0.0;  ///< δ_{i,j} carried on this path (Mb/s)
+};
+
+struct CommRouting {
+  std::vector<RoutedFlow> flows;
+
+  [[nodiscard]] double total_weight() const noexcept {
+    double sum = 0.0;
+    for (const auto& flow : flows) sum += flow.weight;
+    return sum;
+  }
+};
+
+struct Routing {
+  std::vector<CommRouting> per_comm;  ///< indexed like the CommSet
+
+  [[nodiscard]] std::size_t num_comms() const noexcept { return per_comm.size(); }
+
+  /// Largest number of flows used by any communication (the rule's s).
+  [[nodiscard]] std::size_t max_paths() const noexcept {
+    std::size_t max_flows = 0;
+    for (const auto& comm : per_comm) {
+      if (comm.flows.size() > max_flows) max_flows = comm.flows.size();
+    }
+    return max_flows;
+  }
+};
+
+/// Single-path convenience: wraps one path per communication.
+[[nodiscard]] Routing make_single_path_routing(const CommSet& comms,
+                                               std::vector<Path> paths);
+
+}  // namespace pamr

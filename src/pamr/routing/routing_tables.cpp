@@ -1,0 +1,119 @@
+#include "pamr/routing/routing_tables.hpp"
+
+#include <algorithm>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+std::vector<SourceRoute> compile_source_routes(const Mesh& mesh,
+                                               const Routing& routing) {
+  std::vector<SourceRoute> routes;
+  FlowId next_id = 0;
+  for (std::size_t ci = 0; ci < routing.per_comm.size(); ++ci) {
+    for (const RoutedFlow& flow : routing.per_comm[ci].flows) {
+      SourceRoute route;
+      route.flow = next_id++;
+      route.comm_index = static_cast<std::int32_t>(ci);
+      route.src = flow.path.src;
+      route.snk = flow.path.snk;
+      route.weight = flow.weight;
+      route.steps.reserve(flow.path.links.size());
+      for (const LinkId link : flow.path.links) {
+        route.steps.push_back(mesh.link(link).dir);
+      }
+      routes.push_back(std::move(route));
+    }
+  }
+  return routes;
+}
+
+std::size_t ForwardingTables::total_entries() const noexcept {
+  std::size_t total = 0;
+  for (const CoreTable& table : per_core) {
+    total += table.next_hop.size() + table.deliver.size();
+  }
+  return total;
+}
+
+ForwardingTables compile_forwarding_tables(const Mesh& mesh, const Routing& routing) {
+  ForwardingTables tables;
+  tables.per_core.resize(static_cast<std::size_t>(mesh.num_cores()));
+  for (std::int32_t index = 0; index < mesh.num_cores(); ++index) {
+    tables.per_core[static_cast<std::size_t>(index)].core = mesh.core_coord(index);
+  }
+
+  FlowId next_id = 0;
+  for (const CommRouting& comm : routing.per_comm) {
+    for (const RoutedFlow& flow : comm.flows) {
+      const FlowId id = next_id++;
+      for (const LinkId link : flow.path.links) {
+        const LinkInfo& info = mesh.link(link);
+        auto& table =
+            tables.per_core[static_cast<std::size_t>(mesh.core_index(info.from))];
+        const auto [it, inserted] = table.next_hop.insert({id, info.dir});
+        PAMR_CHECK(inserted || it->second == info.dir,
+                   "flow visits one core with two different next hops");
+      }
+      tables.per_core[static_cast<std::size_t>(mesh.core_index(flow.path.snk))]
+          .deliver.push_back(id);
+    }
+  }
+  return tables;
+}
+
+Path walk_tables(const Mesh& mesh, const ForwardingTables& tables, FlowId flow,
+                 Coord src) {
+  PAMR_CHECK(mesh.contains(src), "walk origin outside mesh");
+  Path path;
+  path.src = src;
+  Coord at = src;
+  const std::int32_t diameter = mesh.p() + mesh.q() - 2;
+  for (std::int32_t hops = 0; hops <= diameter; ++hops) {
+    const CoreTable& table =
+        tables.per_core[static_cast<std::size_t>(mesh.core_index(at))];
+    const auto delivering =
+        std::find(table.deliver.begin(), table.deliver.end(), flow);
+    if (delivering != table.deliver.end()) {
+      path.snk = at;
+      return path;
+    }
+    const auto it = table.next_hop.find(flow);
+    PAMR_CHECK(it != table.next_hop.end(),
+               "flow " + std::to_string(flow) + " has no table entry at " +
+                   to_string(at));
+    const LinkId link = mesh.link_from(at, it->second);
+    PAMR_CHECK(link != kInvalidLink, "table points off the mesh");
+    path.links.push_back(link);
+    at = mesh.link(link).to;
+  }
+  PAMR_CHECK(false, "table walk exceeded the mesh diameter (loop?)");
+  return path;  // unreachable
+}
+
+bool tables_consistent(const Mesh& mesh, const Routing& routing) {
+  const ForwardingTables tables = compile_forwarding_tables(mesh, routing);
+  FlowId id = 0;
+  for (const CommRouting& comm : routing.per_comm) {
+    for (const RoutedFlow& flow : comm.flows) {
+      const Path walked = walk_tables(mesh, tables, id, flow.path.src);
+      if (!(walked == flow.path)) return false;
+      ++id;
+    }
+  }
+  return true;
+}
+
+std::string to_string(const Mesh& mesh, const CoreTable& table) {
+  (void)mesh;
+  std::string out = to_string(table.core) + ":";
+  for (const auto& [flow, dir] : table.next_hop) {
+    out += " f" + std::to_string(flow) + "->" + to_cstring(dir);
+  }
+  for (const FlowId flow : table.deliver) {
+    out += " f" + std::to_string(flow) + "->local";
+  }
+  return out;
+}
+
+}  // namespace pamr

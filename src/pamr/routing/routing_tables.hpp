@@ -1,0 +1,73 @@
+// Table-based routing artifacts (paper §1: "Each communication is routed
+// from source to destination along a given path using either source routing
+// or table-based routing").
+//
+// This module compiles a Routing into the two deployable artifacts:
+//
+//  * SourceRoutes — per flow, the explicit step sequence a source-routed
+//    header would carry (one direction symbol per hop);
+//  * ForwardingTables — per core, the (flow id → output direction) map a
+//    table-routed NoC would hold (the same structure pamr::sim::Network
+//    programs into its routers), plus the inverse compile step
+//    (tables → paths) used to round-trip-check consistency.
+//
+// Flow ids number the (communication, flow) pairs in routing order, so
+// multi-path routings compile cleanly: each split gets its own table entry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/routing/routing.hpp"
+
+namespace pamr {
+
+using FlowId = std::int32_t;
+
+struct SourceRoute {
+  FlowId flow = -1;
+  std::int32_t comm_index = -1;
+  Coord src;
+  Coord snk;
+  double weight = 0.0;
+  std::vector<LinkDir> steps;  ///< one per hop, in order
+};
+
+/// Compiles every flow into its source-route header.
+[[nodiscard]] std::vector<SourceRoute> compile_source_routes(const Mesh& mesh,
+                                                             const Routing& routing);
+
+/// Per-core forwarding state: flow id → output direction; flows that
+/// terminate at the core are listed in `deliver`.
+struct CoreTable {
+  Coord core;
+  std::map<FlowId, LinkDir> next_hop;
+  std::vector<FlowId> deliver;
+};
+
+struct ForwardingTables {
+  std::vector<CoreTable> per_core;  ///< indexed by core index
+
+  [[nodiscard]] std::size_t total_entries() const noexcept;
+};
+
+[[nodiscard]] ForwardingTables compile_forwarding_tables(const Mesh& mesh,
+                                                         const Routing& routing);
+
+/// Replays flow `flow` through the tables from `src`, returning the walked
+/// path. CHECKs that the walk terminates at a delivering core within
+/// mesh-diameter steps (i.e. the tables are consistent and loop-free).
+[[nodiscard]] Path walk_tables(const Mesh& mesh, const ForwardingTables& tables,
+                               FlowId flow, Coord src);
+
+/// Round-trip check: tables compiled from `routing` reproduce exactly the
+/// paths of `routing` when walked. Returns true on success.
+[[nodiscard]] bool tables_consistent(const Mesh& mesh, const Routing& routing);
+
+/// Human-readable dump of one core's table (for debugging / documentation).
+[[nodiscard]] std::string to_string(const Mesh& mesh, const CoreTable& table);
+
+}  // namespace pamr

@@ -1,0 +1,41 @@
+// Routing validator — the referee for every heuristic, solver and test.
+//
+// A routing is valid (paper §3.4) iff:
+//   * it has one entry per communication,
+//   * each communication is split into 1..s flows of positive weight whose
+//     weights sum to δ_i,
+//   * every flow's path is a Manhattan path from the communication's source
+//     to its sink,
+//   * no link's accumulated load exceeds the model capacity.
+#pragma once
+
+#include <string>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/routing.hpp"
+
+namespace pamr {
+
+struct ValidationResult {
+  bool ok = false;
+  std::string error;  ///< empty iff ok
+
+  explicit operator bool() const noexcept { return ok; }
+};
+
+/// `max_paths` is the routing rule's s (1 for XY/1-MP); pass 0 for
+/// unbounded (max-MP).
+[[nodiscard]] ValidationResult validate_routing(const Mesh& mesh, const CommSet& comms,
+                                                const Routing& routing,
+                                                const PowerModel& model,
+                                                std::size_t max_paths = 1);
+
+/// Structure-only variant: checks splitting and Manhattan paths but not
+/// bandwidth (used while reasoning about intentionally infeasible routings).
+[[nodiscard]] ValidationResult validate_structure(const Mesh& mesh, const CommSet& comms,
+                                                  const Routing& routing,
+                                                  std::size_t max_paths = 1);
+
+}  // namespace pamr

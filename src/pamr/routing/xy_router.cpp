@@ -1,0 +1,21 @@
+// XY routing (paper §1, §3.5): every communication goes horizontally first,
+// then vertically. Deterministic, oblivious, and the baseline every other
+// policy is measured against.
+#include "pamr/routing/routers.hpp"
+#include "pamr/util/timer.hpp"
+
+namespace pamr {
+
+RouteResult XYRouter::route(const Mesh& mesh, const CommSet& comms,
+                            const PowerModel& model) const {
+  const WallTimer timer;
+  std::vector<Path> paths;
+  paths.reserve(comms.size());
+  for (const Communication& comm : comms) {
+    paths.push_back(xy_path(mesh, comm.src, comm.snk));
+  }
+  return finish(mesh, comms, model, make_single_path_routing(comms, std::move(paths)),
+                timer.elapsed_ms());
+}
+
+}  // namespace pamr

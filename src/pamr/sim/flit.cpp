@@ -1,0 +1,13 @@
+#include "pamr/sim/flit.hpp"
+
+namespace pamr {
+namespace sim {
+
+std::string to_string(const Flit& flit) {
+  return "flit(subflow=" + std::to_string(flit.subflow) +
+         ", packet=" + std::to_string(flit.packet) +
+         ", offset=" + std::to_string(flit.offset) + (flit.tail ? ", tail)" : ")");
+}
+
+}  // namespace sim
+}  // namespace pamr

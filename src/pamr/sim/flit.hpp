@@ -1,0 +1,32 @@
+// Flits and packets for the cycle-level NoC simulator.
+//
+// The simulator exists to demonstrate dynamically what the paper's static
+// analysis asserts: a routing whose per-link loads respect the bandwidths
+// actually sustains the requested throughput on a real (buffered, credit
+// flow-controlled) mesh, and an overloaded routing does not. Packets are
+// fixed-length flit trains; every flit carries its subflow id, which is the
+// key into the per-node routing tables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pamr {
+namespace sim {
+
+/// A subflow is one (communication, path) pair; routing tables are keyed by
+/// subflow so multi-path routings are simulated faithfully.
+using SubflowId = std::int32_t;
+
+struct Flit {
+  SubflowId subflow = -1;
+  std::int64_t packet = -1;    ///< packet sequence number within the subflow
+  std::int32_t offset = 0;     ///< flit index within the packet
+  bool tail = false;           ///< last flit of its packet
+  std::int64_t injected_at = 0;///< cycle the flit entered the source queue
+};
+
+[[nodiscard]] std::string to_string(const Flit& flit);
+
+}  // namespace sim
+}  // namespace pamr

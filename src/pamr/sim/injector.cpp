@@ -1,0 +1,68 @@
+#include "pamr/sim/injector.hpp"
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+namespace sim {
+
+Injector::Injector(const std::vector<Subflow>& subflows, double flit_mbps,
+                   std::int32_t packet_length, Rng& rng)
+    : packet_length_(packet_length) {
+  PAMR_CHECK(flit_mbps > 0.0, "flit bandwidth must be positive");
+  PAMR_CHECK(packet_length >= 1, "packets need at least one flit");
+  states_.resize(subflows.size());
+  for (std::size_t i = 0; i < subflows.size(); ++i) {
+    states_[i].rate = subflows[i].weight / flit_mbps;
+    PAMR_CHECK(states_[i].rate > 0.0, "subflow with zero rate");
+    states_[i].accumulator = rng.uniform();  // random phase
+  }
+}
+
+void Injector::generate(std::int64_t cycle) {
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    State& state = states_[i];
+    state.accumulator += state.rate;
+    while (state.accumulator >= static_cast<double>(packet_length_)) {
+      state.accumulator -= static_cast<double>(packet_length_);
+      for (std::int32_t f = 0; f < packet_length_; ++f) {
+        Flit flit;
+        flit.subflow = static_cast<SubflowId>(i);
+        flit.packet = state.next_packet;
+        flit.offset = f;
+        flit.tail = f == packet_length_ - 1;
+        flit.injected_at = cycle;
+        state.queue.push_back(flit);
+      }
+      ++state.next_packet;
+      state.generated += packet_length_;
+    }
+  }
+}
+
+const Flit* Injector::peek(std::size_t subflow) const {
+  PAMR_ASSERT(subflow < states_.size());
+  const auto& queue = states_[subflow].queue;
+  return queue.empty() ? nullptr : &queue.front();
+}
+
+Flit Injector::pop(std::size_t subflow) {
+  PAMR_ASSERT(subflow < states_.size());
+  auto& queue = states_[subflow].queue;
+  PAMR_ASSERT(!queue.empty());
+  const Flit flit = queue.front();
+  queue.pop_front();
+  return flit;
+}
+
+std::int64_t Injector::backlog(std::size_t subflow) const {
+  PAMR_ASSERT(subflow < states_.size());
+  return static_cast<std::int64_t>(states_[subflow].queue.size());
+}
+
+std::int64_t Injector::generated_flits(std::size_t subflow) const {
+  PAMR_ASSERT(subflow < states_.size());
+  return states_[subflow].generated;
+}
+
+}  // namespace sim
+}  // namespace pamr

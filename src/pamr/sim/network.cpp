@@ -1,0 +1,60 @@
+#include "pamr/sim/network.hpp"
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+namespace sim {
+
+int Network::input_port_of(LinkDir dir) noexcept {
+  // A flit travelling east arrives on the destination's west side, but port
+  // identity only has to be consistent, not geographic: we use the link
+  // direction itself as the input-port key of the receiving router.
+  return static_cast<int>(dir);
+}
+
+int Network::output_port_of(LinkDir dir) noexcept { return static_cast<int>(dir); }
+
+Network::Network(const Mesh& mesh, const CommSet& comms, const Routing& routing,
+                 std::int32_t buffer_depth)
+    : mesh_(&mesh) {
+  PAMR_CHECK(routing.per_comm.size() == comms.size(),
+             "routing does not match the communication set");
+  nodes_.reserve(static_cast<std::size_t>(mesh.num_cores()));
+  for (std::int32_t index = 0; index < mesh.num_cores(); ++index) {
+    nodes_.emplace_back(mesh.core_coord(index), buffer_depth);
+  }
+
+  SubflowId next_id = 0;
+  for (std::size_t ci = 0; ci < comms.size(); ++ci) {
+    for (const RoutedFlow& flow : routing.per_comm[ci].flows) {
+      Subflow subflow;
+      subflow.id = next_id++;
+      subflow.comm_index = static_cast<std::int32_t>(ci);
+      subflow.src = comms[ci].src;
+      subflow.snk = comms[ci].snk;
+      subflow.weight = flow.weight;
+      subflow.links = flow.path.links;
+
+      // Program the tables along the path; the sink delivers locally.
+      for (const LinkId link : subflow.links) {
+        const LinkInfo& info = mesh.link(link);
+        node_at(info.from).set_route(subflow.id, output_port_of(info.dir));
+      }
+      node_at(subflow.snk).set_route(subflow.id, kPortLocal);
+      subflows_.push_back(std::move(subflow));
+    }
+  }
+}
+
+RouterNode& Network::node_at(Coord c) {
+  PAMR_ASSERT(mesh_->contains(c));
+  return nodes_[static_cast<std::size_t>(mesh_->core_index(c))];
+}
+
+const RouterNode& Network::node_at(Coord c) const {
+  PAMR_ASSERT(mesh_->contains(c));
+  return nodes_[static_cast<std::size_t>(mesh_->core_index(c))];
+}
+
+}  // namespace sim
+}  // namespace pamr

@@ -1,0 +1,54 @@
+// The simulated mesh: router nodes wired by the Mesh's links, with routing
+// tables programmed from a pamr::Routing. Each (communication, flow) pair
+// becomes a subflow with its own deterministic path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/routing/routing.hpp"
+#include "pamr/sim/router_node.hpp"
+
+namespace pamr {
+namespace sim {
+
+struct Subflow {
+  SubflowId id = -1;
+  std::int32_t comm_index = -1;  ///< index into the CommSet
+  Coord src;
+  Coord snk;
+  double weight = 0.0;           ///< Mb/s carried by this path
+  std::vector<LinkId> links;     ///< the path
+};
+
+class Network {
+ public:
+  /// Programs one router per core and one routing-table entry per
+  /// (subflow, node on its path). `routing` must be structurally valid for
+  /// `comms`.
+  Network(const Mesh& mesh, const CommSet& comms, const Routing& routing,
+          std::int32_t buffer_depth);
+
+  [[nodiscard]] const Mesh& mesh() const noexcept { return *mesh_; }
+  [[nodiscard]] const std::vector<Subflow>& subflows() const noexcept {
+    return subflows_;
+  }
+
+  [[nodiscard]] RouterNode& node_at(Coord c);
+  [[nodiscard]] const RouterNode& node_at(Coord c) const;
+
+  /// Maps a mesh link to the input port of its destination router.
+  [[nodiscard]] static int input_port_of(LinkDir dir) noexcept;
+  /// Maps a mesh link to the output port of its source router.
+  [[nodiscard]] static int output_port_of(LinkDir dir) noexcept;
+
+ private:
+  const Mesh* mesh_;
+  std::vector<RouterNode> nodes_;      ///< indexed by core index
+  std::vector<Subflow> subflows_;
+};
+
+}  // namespace sim
+}  // namespace pamr

@@ -1,0 +1,76 @@
+#include "pamr/sim/router_node.hpp"
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+namespace sim {
+
+RouterNode::RouterNode(Coord position, std::int32_t buffer_depth)
+    : position_(position), buffer_depth_(buffer_depth) {
+  PAMR_CHECK(buffer_depth >= 1, "buffers need at least one slot");
+  last_winner_.fill(kNumMeshPorts - 1);  // so the first scan starts at port 0
+}
+
+void RouterNode::set_route(SubflowId subflow, int output_port) {
+  PAMR_CHECK(output_port >= 0 && output_port < kNumPorts, "bad output port");
+  const auto [it, inserted] = routes_.insert({subflow, output_port});
+  PAMR_CHECK(inserted || it->second == output_port,
+             "conflicting route for one subflow at one node");
+}
+
+int RouterNode::route_of(SubflowId subflow) const {
+  const auto it = routes_.find(subflow);
+  PAMR_CHECK(it != routes_.end(),
+             "flit of unrouted subflow " + std::to_string(subflow) + " at node " +
+                 to_string(position_));
+  return it->second;
+}
+
+bool RouterNode::can_accept(int port) const {
+  PAMR_ASSERT(port >= 0 && port < kNumMeshPorts);
+  return buffers_[static_cast<std::size_t>(port)].size() <
+         static_cast<std::size_t>(buffer_depth_);
+}
+
+void RouterNode::accept(int port, const Flit& flit) {
+  PAMR_ASSERT(can_accept(port));
+  buffers_[static_cast<std::size_t>(port)].push_back(flit);
+}
+
+std::size_t RouterNode::occupancy(int port) const {
+  PAMR_ASSERT(port >= 0 && port < kNumMeshPorts);
+  return buffers_[static_cast<std::size_t>(port)].size();
+}
+
+int RouterNode::arbitrate(int output_port) {
+  PAMR_ASSERT(output_port >= 0 && output_port < kNumPorts);
+  const int start = last_winner_[static_cast<std::size_t>(output_port)];
+  for (int step = 1; step <= kNumMeshPorts; ++step) {
+    const int port = (start + step) % kNumMeshPorts;
+    const auto& buffer = buffers_[static_cast<std::size_t>(port)];
+    if (buffer.empty()) continue;
+    if (route_of(buffer.front().subflow) == output_port) {
+      last_winner_[static_cast<std::size_t>(output_port)] = port;
+      return port;
+    }
+  }
+  return -1;
+}
+
+Flit RouterNode::pop(int port) {
+  PAMR_ASSERT(port >= 0 && port < kNumMeshPorts);
+  auto& buffer = buffers_[static_cast<std::size_t>(port)];
+  PAMR_ASSERT(!buffer.empty());
+  const Flit flit = buffer.front();
+  buffer.pop_front();
+  return flit;
+}
+
+const Flit* RouterNode::peek(int port) const {
+  PAMR_ASSERT(port >= 0 && port < kNumMeshPorts);
+  const auto& buffer = buffers_[static_cast<std::size_t>(port)];
+  return buffer.empty() ? nullptr : &buffer.front();
+}
+
+}  // namespace sim
+}  // namespace pamr

@@ -1,0 +1,72 @@
+// One mesh router: 4 mesh input ports with FIFO buffers and credit-based
+// backpressure, deterministic table routing (subflow → output port, where
+// the local port is an output only) and per-output round-robin arbitration
+// among the mesh inputs. One flit traverses one link per cycle. Injection
+// does not buffer inside the router: the simulator arbitrates source queues
+// directly per output port (per-subflow virtual injection channels), so one
+// busy flow cannot head-of-line-block its co-located siblings.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "pamr/mesh/coord.hpp"
+#include "pamr/sim/flit.hpp"
+
+namespace pamr {
+namespace sim {
+
+/// Port indices: the four mesh directions (same numbering as LinkDir) plus
+/// the local ejection port (an output only — injection bypasses buffers).
+inline constexpr int kPortEast = 0;
+inline constexpr int kPortWest = 1;
+inline constexpr int kPortSouth = 2;
+inline constexpr int kPortNorth = 3;
+inline constexpr int kPortLocal = 4;
+inline constexpr int kNumMeshPorts = 4;
+inline constexpr int kNumPorts = 5;
+
+class RouterNode {
+ public:
+  RouterNode(Coord position, std::int32_t buffer_depth);
+
+  [[nodiscard]] Coord position() const noexcept { return position_; }
+  [[nodiscard]] std::int32_t buffer_depth() const noexcept { return buffer_depth_; }
+
+  /// Routing-table entry: flits of `subflow` leaving this node exit through
+  /// `output_port` (kPortLocal = deliver here).
+  void set_route(SubflowId subflow, int output_port);
+  [[nodiscard]] int route_of(SubflowId subflow) const;
+
+  /// True iff mesh input buffer `port` has space for one more flit.
+  [[nodiscard]] bool can_accept(int port) const;
+
+  /// Enqueues a flit into mesh input buffer `port`; caller must have
+  /// checked can_accept.
+  void accept(int port, const Flit& flit);
+
+  [[nodiscard]] std::size_t occupancy(int port) const;
+
+  /// Arbitration for one output port: picks the next mesh input port (round
+  /// robin from the last winner) whose head flit routes to `output_port`.
+  /// Returns the input port index or -1.
+  [[nodiscard]] int arbitrate(int output_port);
+
+  /// Pops and returns the head flit of mesh input buffer `port`.
+  Flit pop(int port);
+
+  [[nodiscard]] const Flit* peek(int port) const;
+
+ private:
+  Coord position_;
+  std::int32_t buffer_depth_;
+  std::array<std::deque<Flit>, kNumMeshPorts> buffers_;
+  std::array<int, kNumPorts> last_winner_{};  ///< per output port
+  std::unordered_map<SubflowId, int> routes_;
+};
+
+}  // namespace sim
+}  // namespace pamr

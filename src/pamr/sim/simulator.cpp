@@ -1,0 +1,181 @@
+#include "pamr/sim/simulator.hpp"
+
+#include <vector>
+
+#include "pamr/routing/validate.hpp"
+#include "pamr/sim/injector.hpp"
+#include "pamr/sim/network.hpp"
+#include "pamr/util/assert.hpp"
+#include "pamr/util/rng.hpp"
+
+namespace pamr {
+namespace sim {
+
+namespace {
+
+struct StagedFlit {
+  std::int32_t node = -1;  ///< destination core index
+  int port = -1;
+  Flit flit;
+};
+
+}  // namespace
+
+SimStats simulate(const Mesh& mesh, const CommSet& comms, const Routing& routing,
+                  const SimConfig& config) {
+  PAMR_CHECK(config.cycles > config.warmup && config.warmup >= 0,
+             "need cycles > warmup >= 0");
+  const ValidationResult structure = validate_structure(mesh, comms, routing, 0);
+  PAMR_CHECK(structure.ok, "structurally invalid routing: " + structure.error);
+
+  Network network(mesh, comms, routing, config.buffer_depth);
+  Rng rng(config.seed);
+  Injector injector(network.subflows(), config.flit_mbps, config.packet_length, rng);
+
+  // Injection candidates grouped by (source node, first-hop output port);
+  // zero-length subflows (src == snk) deliver without entering the mesh.
+  std::vector<std::vector<std::size_t>> by_source_port(
+      static_cast<std::size_t>(mesh.num_cores()) * kNumPorts);
+  std::vector<std::size_t> local_only;
+  for (std::size_t i = 0; i < network.subflows().size(); ++i) {
+    const Subflow& subflow = network.subflows()[i];
+    if (subflow.links.empty()) {
+      local_only.push_back(i);
+      continue;
+    }
+    const int out = Network::output_port_of(mesh.link(subflow.links.front()).dir);
+    by_source_port[static_cast<std::size_t>(mesh.core_index(subflow.src)) * kNumPorts +
+                   static_cast<std::size_t>(out)]
+        .push_back(i);
+  }
+  std::vector<std::size_t> inject_cursor(by_source_port.size(), 0);
+
+  SimStats stats;
+  stats.flit_mbps = config.flit_mbps;
+  stats.measured_cycles = config.cycles - config.warmup;
+  stats.per_subflow.resize(network.subflows().size());
+  stats.link_busy_cycles.assign(static_cast<std::size_t>(mesh.num_links()), 0);
+  std::vector<std::int64_t> offered_at_warmup(network.subflows().size(), 0);
+
+  std::vector<StagedFlit> staged;
+  staged.reserve(static_cast<std::size_t>(mesh.num_links()));
+  // Start-of-cycle buffer occupancy snapshot, indexed node*4+port.
+  std::vector<std::size_t> snapshot(
+      static_cast<std::size_t>(mesh.num_cores()) * kNumMeshPorts, 0);
+
+  for (std::int64_t cycle = 0; cycle < config.cycles; ++cycle) {
+    const bool measuring = cycle >= config.warmup;
+    if (cycle == config.warmup) {
+      for (std::size_t i = 0; i < network.subflows().size(); ++i) {
+        offered_at_warmup[i] = injector.generated_flits(i);
+      }
+    }
+
+    injector.generate(cycle);
+
+    // Snapshot occupancies for credit decisions.
+    for (std::int32_t n = 0; n < mesh.num_cores(); ++n) {
+      RouterNode& node = network.node_at(mesh.core_coord(n));
+      for (int port = 0; port < kNumMeshPorts; ++port) {
+        snapshot[static_cast<std::size_t>(n) * kNumMeshPorts +
+                 static_cast<std::size_t>(port)] = node.occupancy(port);
+      }
+    }
+
+    // Arbitrate and traverse. Mesh traffic has priority over injection on
+    // every output port; local ejection drains one flit per cycle.
+    staged.clear();
+    for (std::int32_t n = 0; n < mesh.num_cores(); ++n) {
+      const Coord at = mesh.core_coord(n);
+      RouterNode& node = network.node_at(at);
+      for (int out = 0; out < kNumPorts; ++out) {
+        if (out == kPortLocal) {
+          // Ejection is not a modeled resource (the paper constrains link
+          // bandwidth only): drain every local-destined head flit.
+          int winner = -1;
+          while ((winner = node.arbitrate(kPortLocal)) >= 0) {
+            const Flit flit = node.pop(winner);
+            if (measuring) {
+              SubflowStats& flow_stats =
+                  stats.per_subflow[static_cast<std::size_t>(flit.subflow)];
+              ++flow_stats.delivered_flits;
+              flow_stats.latency_sum += static_cast<double>(cycle - flit.injected_at);
+              if (flit.tail) ++flow_stats.delivered_packets;
+            }
+          }
+          continue;
+        }
+        const auto dir = static_cast<LinkDir>(out);
+        const LinkId link = mesh.link_from(at, dir);
+        if (link == kInvalidLink) continue;
+        const Coord to = mesh.link(link).to;
+        const int in_port = Network::input_port_of(dir);
+        const std::size_t key =
+            static_cast<std::size_t>(mesh.core_index(to)) * kNumMeshPorts +
+            static_cast<std::size_t>(in_port);
+        if (snapshot[key] >= static_cast<std::size_t>(config.buffer_depth)) {
+          continue;  // no credit downstream
+        }
+        Flit moving;
+        bool have_flit = false;
+        if (const int winner = node.arbitrate(out); winner >= 0) {
+          moving = node.pop(winner);
+          have_flit = true;
+        } else {
+          // Output idle this cycle: inject from the co-located source
+          // queues whose first hop uses this link (round robin).
+          auto& candidates =
+              by_source_port[static_cast<std::size_t>(n) * kNumPorts +
+                             static_cast<std::size_t>(out)];
+          auto& cursor = inject_cursor[static_cast<std::size_t>(n) * kNumPorts +
+                                       static_cast<std::size_t>(out)];
+          for (std::size_t tried = 0; tried < candidates.size(); ++tried) {
+            const std::size_t flow = candidates[(cursor + tried) % candidates.size()];
+            if (injector.peek(flow) != nullptr) {
+              moving = injector.pop(flow);
+              have_flit = true;
+              if (measuring) ++stats.per_subflow[flow].injected_flits;
+              if (moving.tail) cursor = (cursor + tried + 1) % candidates.size();
+              break;
+            }
+          }
+        }
+        if (!have_flit) continue;
+        ++snapshot[key];  // consume the credit for this cycle
+        staged.push_back(StagedFlit{mesh.core_index(to), in_port, moving});
+        if (measuring) {
+          ++stats.link_busy_cycles[static_cast<std::size_t>(link)];
+        }
+      }
+    }
+    for (const StagedFlit& arrival : staged) {
+      RouterNode& node = network.node_at(mesh.core_coord(arrival.node));
+      PAMR_ASSERT(node.can_accept(arrival.port));
+      node.accept(arrival.port, arrival.flit);
+    }
+
+    // Zero-hop subflows: deliver straight from the source queue.
+    for (const std::size_t flow : local_only) {
+      while (injector.peek(flow) != nullptr) {
+        const Flit flit = injector.pop(flow);
+        if (measuring) {
+          SubflowStats& flow_stats = stats.per_subflow[flow];
+          ++flow_stats.injected_flits;
+          ++flow_stats.delivered_flits;
+          flow_stats.latency_sum += static_cast<double>(cycle - flit.injected_at);
+          if (flit.tail) ++flow_stats.delivered_packets;
+        }
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < stats.per_subflow.size(); ++i) {
+    stats.per_subflow[i].backlog = injector.backlog(i);
+    stats.per_subflow[i].offered_flits =
+        injector.generated_flits(i) - offered_at_warmup[i];
+  }
+  return stats;
+}
+
+}  // namespace sim
+}  // namespace pamr

@@ -1,0 +1,147 @@
+#include "pamr/theory/np_reduction.hpp"
+
+#include <numeric>
+
+#include "pamr/routing/path.hpp"
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+PowerModel NpGadget::make_model() const {
+  PowerParams params;
+  params.p_leak = 0.0;
+  params.p0 = 1.0;
+  params.alpha = 3.0;
+  params.bandwidth = bandwidth;
+  params.load_unit = 1.0;
+  return PowerModel(params);
+}
+
+NpGadget build_np_gadget(const std::vector<std::int64_t>& items, std::int32_t s) {
+  PAMR_CHECK(!items.empty(), "need at least one item");
+  PAMR_CHECK(s >= 2, "the reduction needs s >= 2");
+  for (const std::int64_t item : items) {
+    PAMR_CHECK(item > 0, "items must be strictly positive");
+  }
+  const std::int64_t total = std::accumulate(items.begin(), items.end(), std::int64_t{0});
+  PAMR_CHECK(total % 2 == 0, "odd item sums are trivial no-instances");
+
+  NpGadget gadget;
+  gadget.n = static_cast<std::int32_t>(items.size());
+  gadget.s = s;
+  gadget.items = items;
+  gadget.q = (s - 1) * gadget.n + 2;
+  gadget.bandwidth =
+      static_cast<double>(total) / 2.0 + static_cast<double>((s - 1) * gadget.n);
+
+  // Traversing communications: γ_i from C(1, (i-1)(s-1)+1) to C(2, q) with
+  // weight a_i + s - 1 (paper coordinates are 1-based; ours 0-based).
+  for (std::int32_t i = 0; i < gadget.n; ++i) {
+    gadget.comms.push_back(Communication{
+        {0, i * (s - 1)},
+        {1, gadget.q - 1},
+        static_cast<double>(items[static_cast<std::size_t>(i)]) +
+            static_cast<double>(s - 1)});
+  }
+  // Blocking one-hop vertical communications: BW-1 on columns 1..q-2,
+  // BW - S/2 on the last two columns.
+  for (std::int32_t column = 0; column < gadget.q - 2; ++column) {
+    gadget.comms.push_back(
+        Communication{{0, column}, {1, column}, gadget.bandwidth - 1.0});
+  }
+  const double residual = gadget.bandwidth - static_cast<double>(total) / 2.0;
+  gadget.comms.push_back(
+      Communication{{0, gadget.q - 2}, {1, gadget.q - 2}, residual});
+  gadget.comms.push_back(
+      Communication{{0, gadget.q - 1}, {1, gadget.q - 1}, residual});
+  return gadget;
+}
+
+std::optional<std::vector<std::size_t>> solve_two_partition(
+    const std::vector<std::int64_t>& items) {
+  const std::int64_t total = std::accumulate(items.begin(), items.end(), std::int64_t{0});
+  if (total % 2 != 0) return std::nullopt;
+  const auto target = static_cast<std::size_t>(total / 2);
+
+  // reachable[v] = 1 + index of the last item used to first reach sum v
+  // (0 = unreached, so backtracking recovers one witness subset).
+  std::vector<std::size_t> reached_by(target + 1, 0);
+  std::vector<char> reachable(target + 1, 0);
+  reachable[0] = 1;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    const auto item = static_cast<std::size_t>(items[i]);
+    if (item > target) continue;
+    for (std::size_t v = target; v + 1 > item; --v) {
+      const std::size_t below = v - item;
+      if (reachable[below] != 0 && reachable[v] == 0) {
+        reachable[v] = 1;
+        reached_by[v] = i + 1;
+      }
+    }
+  }
+  if (reachable[target] == 0) return std::nullopt;
+
+  std::vector<std::size_t> subset;
+  std::size_t v = target;
+  while (v > 0) {
+    PAMR_ASSERT(reached_by[v] != 0);
+    const std::size_t item_index = reached_by[v] - 1;
+    subset.push_back(item_index);
+    v -= static_cast<std::size_t>(items[item_index]);
+  }
+  return subset;
+}
+
+Routing certificate_routing(const NpGadget& gadget,
+                            const std::vector<std::size_t>& subset) {
+  const Mesh mesh = gadget.make_mesh();
+  std::vector<char> in_subset(static_cast<std::size_t>(gadget.n), 0);
+  for (const std::size_t index : subset) {
+    PAMR_CHECK(index < static_cast<std::size_t>(gadget.n), "subset index out of range");
+    in_subset[index] = 1;
+  }
+
+  Routing routing;
+  routing.per_comm.resize(gadget.comms.size());
+
+  // Builds the flow that rides row 0 east to `descend_column`, drops to row
+  // 1 and rides east to the sink column q-1.
+  const auto traverse_flow = [&](std::int32_t source_column,
+                                 std::int32_t descend_column, double weight) {
+    std::vector<Coord> cores;
+    for (std::int32_t c = source_column; c <= descend_column; ++c) {
+      cores.push_back({0, c});
+    }
+    for (std::int32_t c = descend_column; c <= gadget.q - 1; ++c) {
+      cores.push_back({1, c});
+    }
+    return RoutedFlow{path_from_cores(mesh, cores), weight};
+  };
+
+  for (std::int32_t i = 0; i < gadget.n; ++i) {
+    CommRouting& routed = routing.per_comm[static_cast<std::size_t>(i)];
+    const std::int32_t source_column = i * (gadget.s - 1);
+    // s-1 unit flows through the columns of block i (paper: δ_{i,k} = 1,
+    // descending at column (i-1)(s-1)+k).
+    for (std::int32_t k = 0; k < gadget.s - 1; ++k) {
+      routed.flows.push_back(traverse_flow(source_column, source_column + k, 1.0));
+    }
+    // Final flow of weight a_i through column q-2 (i ∈ I) or q-1 (i ∉ I).
+    const std::int32_t descend =
+        in_subset[static_cast<std::size_t>(i)] != 0 ? gadget.q - 2 : gadget.q - 1;
+    routed.flows.push_back(traverse_flow(
+        source_column, descend,
+        static_cast<double>(gadget.items[static_cast<std::size_t>(i)])));
+  }
+
+  // Blockers: the forced one-hop vertical paths.
+  for (std::size_t index = static_cast<std::size_t>(gadget.n);
+       index < gadget.comms.size(); ++index) {
+    const Communication& comm = gadget.comms[index];
+    routing.per_comm[index].flows.push_back(RoutedFlow{
+        path_from_cores(mesh, {comm.src, comm.snk}), comm.weight});
+  }
+  return routing;
+}
+
+}  // namespace pamr

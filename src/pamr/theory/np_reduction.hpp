@@ -1,0 +1,59 @@
+// Theorem 3: the NP-completeness gadget.
+//
+// Reduction from 2-PARTITION: given positive integers a_1..a_n with sum S,
+// build a 2 × q mesh with q = (s-1)·n + 2 and link bandwidth
+// BW = S/2 + (s-1)·n, plus
+//   * n "traversing" communications γ_i = (C(1,(i-1)(s-1)+1), C(2,q),
+//     a_i + s - 1), and
+//   * q blocking one-hop vertical communications that saturate every
+//     vertical link down to exactly the residual capacities of the proof
+//     (BW-1 on columns 1..q-2, BW-S/2 on the last two columns).
+// A valid s-MP routing exists iff the 2-partition instance is a yes
+// instance; from a certificate subset I the proof's explicit routing is
+// constructed here (and validated in the tests).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/routing.hpp"
+
+namespace pamr {
+
+struct NpGadget {
+  std::int32_t n = 0;            ///< number of 2-partition items
+  std::int32_t s = 0;            ///< max paths per communication
+  std::int32_t q = 0;            ///< mesh is 2 × q
+  double bandwidth = 0.0;        ///< BW = S/2 + (s-1)·n
+  std::vector<std::int64_t> items;
+  CommSet comms;                 ///< first n are the traversing γ_i
+
+  [[nodiscard]] Mesh make_mesh() const { return Mesh(2, q); }
+
+  /// Continuous model whose capacity is exactly BW (power constants are
+  /// irrelevant to the reduction — only feasibility matters).
+  [[nodiscard]] PowerModel make_model() const;
+};
+
+/// Builds the gadget. CHECKs n ≥ 1, s ≥ 2 and even S (odd sums are trivial
+/// no-instances and have no faithful gadget).
+[[nodiscard]] NpGadget build_np_gadget(const std::vector<std::int64_t>& items,
+                                       std::int32_t s);
+
+/// Exact 2-partition via subset-sum DP: returns a subset of indices summing
+/// to S/2, or nullopt. O(n · S) time/space.
+[[nodiscard]] std::optional<std::vector<std::size_t>> solve_two_partition(
+    const std::vector<std::int64_t>& items);
+
+/// The proof's explicit routing for a yes-certificate `subset` (indices
+/// whose a_i descend through column q-1; the rest descend through column
+/// q). The result is a valid s-MP routing of the gadget (validated in the
+/// tests).
+[[nodiscard]] Routing certificate_routing(const NpGadget& gadget,
+                                          const std::vector<std::size_t>& subset);
+
+}  // namespace pamr

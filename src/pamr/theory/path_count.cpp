@@ -1,0 +1,39 @@
+#include "pamr/theory/path_count.hpp"
+
+#include <limits>
+
+#include "pamr/opt/path_enum.hpp"
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+namespace {
+
+std::uint64_t saturating_add(std::uint64_t a, std::uint64_t b) noexcept {
+  const std::uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<std::uint64_t>::max() : sum;
+}
+
+}  // namespace
+
+std::vector<std::vector<std::uint64_t>> path_count_table(std::int32_t p, std::int32_t q) {
+  PAMR_CHECK(p >= 1 && q >= 1, "dimensions must be positive");
+  std::vector<std::vector<std::uint64_t>> table(
+      static_cast<std::size_t>(p), std::vector<std::uint64_t>(static_cast<std::size_t>(q), 1));
+  for (std::size_t u = 1; u < static_cast<std::size_t>(p); ++u) {
+    for (std::size_t v = 1; v < static_cast<std::size_t>(q); ++v) {
+      table[u][v] = saturating_add(table[u - 1][v], table[u][v - 1]);
+    }
+  }
+  return table;
+}
+
+std::uint64_t corner_to_corner_paths(std::int32_t p, std::int32_t q) noexcept {
+  return count_manhattan_paths(p - 1, q - 1);
+}
+
+std::uint64_t max_mp_split_bound(const Mesh& mesh) noexcept {
+  return corner_to_corner_paths(mesh.p(), mesh.q());
+}
+
+}  // namespace pamr

@@ -1,0 +1,29 @@
+// Lemma 1: "There are C(p+q-2, p-1) Manhattan paths going from C(1,1) to
+// C(p,q)." This module exposes both the closed form and the N(u,v) =
+// N(u-1,v) + N(u,v-1) recursion from the proof (the recursion doubles as an
+// independent oracle in the tests), plus the max-MP bound it implies: a
+// max-MP routing never needs more paths per communication than the count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/mesh/mesh.hpp"
+
+namespace pamr {
+
+/// N(u, v) table (1-based semantics, table[u][v] with 0 ≤ u < p, 0 ≤ v < q):
+/// number of Manhattan paths from C(0,0) to C(u,v), built by the proof's
+/// recursion. Saturates at uint64 max.
+[[nodiscard]] std::vector<std::vector<std::uint64_t>> path_count_table(std::int32_t p,
+                                                                       std::int32_t q);
+
+/// Closed form C(p+q-2, p-1), saturating.
+[[nodiscard]] std::uint64_t corner_to_corner_paths(std::int32_t p, std::int32_t q) noexcept;
+
+/// Maximum number of distinct paths any communication on `mesh` can use
+/// (the bound on max-MP splitting promised in §3.3/“We bound this number in
+/// Section 4”).
+[[nodiscard]] std::uint64_t max_mp_split_bound(const Mesh& mesh) noexcept;
+
+}  // namespace pamr

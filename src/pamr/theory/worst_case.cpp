@@ -1,0 +1,129 @@
+#include "pamr/theory/worst_case.hpp"
+
+#include <cmath>
+
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+namespace {
+
+double continuous_dynamic_power(const std::vector<double>& loads,
+                                const PowerParams& params) {
+  double sum = 0.0;
+  for (const double load : loads) {
+    if (load > 0.0) sum += params.p0 * std::pow(load * params.load_unit, params.alpha);
+  }
+  return sum;
+}
+
+}  // namespace
+
+Theorem1Pattern build_theorem1_pattern(std::int32_t half, double traffic,
+                                       const PowerModel& model) {
+  PAMR_CHECK(half >= 1, "need p' >= 1");
+  PAMR_CHECK(traffic > 0.0, "traffic must be positive");
+  const std::int32_t p = 2 * half;  // square 2p' × 2p' mesh
+  const Mesh mesh(p, p);
+
+  Theorem1Pattern pattern;
+  pattern.half = half;
+  pattern.traffic = traffic;
+  pattern.link_loads.assign(static_cast<std::size_t>(mesh.num_links()), 0.0);
+
+  // Loads are described in the paper's 1-based coordinates. The "symmetrical
+  // routes for the other half" are the anti-transpose reflection
+  // (u,v) → (p+1-v, p+1-u): it maps source to sink, fixes the centre
+  // diagonal pointwise (so flow is conserved where the halves meet) and
+  // maps east links to south links and vice versa.
+  auto add_east = [&](std::int32_t u1, std::int32_t v1, double weight) {
+    const LinkId first = mesh.link_from({u1 - 1, v1 - 1}, LinkDir::kEast);
+    PAMR_ASSERT(first != kInvalidLink);
+    pattern.link_loads[static_cast<std::size_t>(first)] += weight;
+    const LinkId mirrored = mesh.link_from({p - v1 - 1, p - u1}, LinkDir::kSouth);
+    PAMR_ASSERT(mirrored != kInvalidLink);
+    pattern.link_loads[static_cast<std::size_t>(mirrored)] += weight;
+  };
+  auto add_south = [&](std::int32_t u1, std::int32_t v1, double weight) {
+    const LinkId first = mesh.link_from({u1 - 1, v1 - 1}, LinkDir::kSouth);
+    PAMR_ASSERT(first != kInvalidLink);
+    pattern.link_loads[static_cast<std::size_t>(first)] += weight;
+    const LinkId mirrored = mesh.link_from({p - v1, p - u1 - 1}, LinkDir::kEast);
+    PAMR_ASSERT(mirrored != kInvalidLink);
+    pattern.link_loads[static_cast<std::size_t>(mirrored)] += weight;
+  };
+
+  // Odd cuts D(2k-1) → D(2k): cores C(j, 2k-j), j = 1..k, send h_k = K/k
+  // east.
+  for (std::int32_t k = 1; k <= half; ++k) {
+    const double h_k = traffic / static_cast<double>(k);
+    for (std::int32_t j = 1; j <= k; ++j) add_east(j, 2 * k - j, h_k);
+  }
+  // Even cuts D(2k) → D(2k+1): cores C(j, 2k+1-j), j = 1..k, send
+  // r_{k,j} east and d_{k,j} south.
+  for (std::int32_t k = 1; k <= half - 1; ++k) {
+    const double denom = static_cast<double>(k) * static_cast<double>(k + 1);
+    for (std::int32_t j = 1; j <= k; ++j) {
+      const double r = traffic * static_cast<double>(k + 1 - j) / denom;
+      const double d = traffic * static_cast<double>(j) / denom;
+      add_east(j, 2 * k + 1 - j, r);
+      add_south(j, 2 * k + 1 - j, d);
+    }
+  }
+
+  const PowerParams& params = model.params();
+  pattern.pattern_power = continuous_dynamic_power(pattern.link_loads, params);
+  // XY routes everything over one corner-to-corner path: 2p - 2 links at
+  // load K (the paper rounds this to 2p).
+  pattern.xy_power = static_cast<double>(2 * p - 2) * params.p0 *
+                     std::pow(traffic * params.load_unit, params.alpha);
+  pattern.ratio = pattern.xy_power / pattern.pattern_power;
+  return pattern;
+}
+
+Lemma2Instance build_lemma2_instance(std::int32_t p_prime, const PowerModel& model) {
+  PAMR_CHECK(p_prime >= 1, "need p' >= 1");
+  const Mesh mesh(p_prime + 1, p_prime + 1);
+
+  Lemma2Instance instance;
+  instance.p_prime = p_prime;
+  // Paper (1-based): γ_i = (C(1,i), C(i, p'+1), 1), i = 1..p'.
+  for (std::int32_t i = 1; i <= p_prime; ++i) {
+    instance.comms.push_back(
+        Communication{{0, i - 1}, {i - 1, p_prime}, 1.0});
+  }
+
+  // Figure 5(a): the YX routing (vertical first, then horizontal) gives
+  // pairwise link-disjoint paths.
+  std::vector<Path> yx_paths;
+  yx_paths.reserve(instance.comms.size());
+  for (const Communication& comm : instance.comms) {
+    yx_paths.push_back(yx_path(mesh, comm.src, comm.snk));
+  }
+  instance.yx_routing = make_single_path_routing(instance.comms, std::move(yx_paths));
+
+  const PowerParams& params = model.params();
+  {
+    const LinkLoads loads = loads_of_routing(mesh, instance.yx_routing);
+    std::vector<double> dense(loads.values().begin(), loads.values().end());
+    instance.yx_power = continuous_dynamic_power(dense, params);
+  }
+  {
+    std::vector<Path> xy_paths;
+    xy_paths.reserve(instance.comms.size());
+    for (const Communication& comm : instance.comms) {
+      xy_paths.push_back(xy_path(mesh, comm.src, comm.snk));
+    }
+    const Routing xy_routing =
+        make_single_path_routing(instance.comms, std::move(xy_paths));
+    const LinkLoads loads = loads_of_routing(mesh, xy_routing);
+    std::vector<double> dense(loads.values().begin(), loads.values().end());
+    instance.xy_power = continuous_dynamic_power(dense, params);
+  }
+  instance.ratio = instance.xy_power / instance.yx_power;
+  return instance;
+}
+
+}  // namespace pamr

@@ -1,0 +1,51 @@
+// Worst-case constructions of §4.1.
+//
+// Theorem 1 (single source/destination): on a 2p'×2p' mesh, routing total
+// traffic K from corner to corner with the explicit diffusion pattern of
+// Figure 4 (h_k = K/k on the odd cuts; r_{k,j} = (k+1-j)/(k(k+1))·K and
+// d_{k,j} = j/(k(k+1))·K on the even cuts, mirrored about the centre) costs
+// O(K^α) while XY costs (2p)·K^α — the ratio grows as Θ(p).
+//
+// Lemma 2 (multiple sources/destinations): on a (p'+1)×(p'+1) mesh the
+// instance γ_i = (C(1,i), C(i,p'+1), 1), i = 1..p', has P_XY = 2Σ i^α but a
+// YX (1-MP) routing of cost p'(p'+1) — the ratio grows as Θ(p^{α-1}).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/comm/communication.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/power/power_model.hpp"
+#include "pamr/routing/routing.hpp"
+
+namespace pamr {
+
+struct Theorem1Pattern {
+  std::int32_t half = 0;            ///< p' (mesh is 2p' × 2p')
+  double traffic = 0.0;             ///< K
+  std::vector<double> link_loads;   ///< dense, indexed by LinkId of `mesh(...)`
+  double pattern_power = 0.0;       ///< continuous dynamic power of the pattern
+  double xy_power = 0.0;            ///< (2p)·K^α
+  double ratio = 0.0;               ///< xy_power / pattern_power
+};
+
+/// Builds the Figure-4 diffusion pattern for corner-to-corner traffic K on
+/// a 2·half × 2·half mesh and evaluates it under `model`'s continuous
+/// dynamic curve. The returned loads satisfy flow conservation (tested).
+[[nodiscard]] Theorem1Pattern build_theorem1_pattern(std::int32_t half, double traffic,
+                                                     const PowerModel& model);
+
+struct Lemma2Instance {
+  std::int32_t p_prime = 0;  ///< mesh is (p'+1) × (p'+1)
+  CommSet comms;             ///< the p' unit communications
+  Routing yx_routing;        ///< the 1-MP routing of Figure 5(a)
+  double xy_power = 0.0;     ///< 2 Σ_{i=1..p'} i^α (continuous dynamic)
+  double yx_power = 0.0;     ///< p'(p'+1)
+  double ratio = 0.0;
+};
+
+[[nodiscard]] Lemma2Instance build_lemma2_instance(std::int32_t p_prime,
+                                                   const PowerModel& model);
+
+}  // namespace pamr

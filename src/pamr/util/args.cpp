@@ -1,0 +1,196 @@
+#include "pamr/util/args.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "pamr/util/assert.hpp"
+#include "pamr/util/string_util.hpp"
+
+namespace pamr {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        const std::string& help, const std::string& env) {
+  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kInt;
+  opt.help = help;
+  opt.env = env;
+  opt.int_value = default_value;
+  if (!env.empty()) {
+    if (const char* value = std::getenv(env.c_str())) {
+      std::int64_t parsed = 0;
+      if (parse_int64(value, parsed)) opt.int_value = parsed;
+    }
+  }
+  options_.push_back(std::move(opt));
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           const std::string& help) {
+  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kDouble;
+  opt.help = help;
+  opt.double_value = default_value;
+  options_.push_back(std::move(opt));
+}
+
+void ArgParser::add_string(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kString;
+  opt.help = help;
+  opt.string_value = default_value;
+  options_.push_back(std::move(opt));
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
+  Option opt;
+  opt.name = name;
+  opt.kind = Kind::kFlag;
+  opt.help = help;
+  options_.push_back(std::move(opt));
+}
+
+ArgParser::Option* ArgParser::find(const std::string& name) {
+  for (auto& opt : options_) {
+    if (opt.name == name) return &opt;
+  }
+  return nullptr;
+}
+
+const ArgParser::Option* ArgParser::find_checked(const std::string& name, Kind kind) const {
+  for (const auto& opt : options_) {
+    if (opt.name == name) {
+      PAMR_CHECK(opt.kind == kind, "option --" + name + " accessed with wrong type");
+      return &opt;
+    }
+  }
+  PAMR_CHECK(false, "unknown option --" + name);
+  return nullptr;  // unreachable
+}
+
+bool ArgParser::parse(int argc, const char* const* argv, int& exit_code) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      std::fputs(help_text().c_str(), stdout);
+      exit_code = 0;
+      return false;
+    }
+    if (!starts_with(token, "--")) {
+      std::fprintf(stderr, "%s: unexpected argument '%s'\n", program_.c_str(),
+                   token.c_str());
+      exit_code = 2;
+      return false;
+    }
+    token.erase(0, 2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = token.find('='); eq != std::string::npos) {
+      value = token.substr(eq + 1);
+      token.erase(eq);
+      has_value = true;
+    }
+    Option* opt = find(token);
+    if (opt == nullptr) {
+      std::fprintf(stderr, "%s: unknown option '--%s'\n", program_.c_str(), token.c_str());
+      exit_code = 2;
+      return false;
+    }
+    if (opt->kind == Kind::kFlag) {
+      if (has_value) {
+        std::fprintf(stderr, "%s: flag '--%s' takes no value\n", program_.c_str(),
+                     token.c_str());
+        exit_code = 2;
+        return false;
+      }
+      opt->flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: option '--%s' needs a value\n", program_.c_str(),
+                     token.c_str());
+        exit_code = 2;
+        return false;
+      }
+      value = argv[++i];
+    }
+    bool ok = false;
+    switch (opt->kind) {
+      case Kind::kInt:
+        ok = parse_int64(value, opt->int_value);
+        break;
+      case Kind::kDouble:
+        ok = parse_double(value, opt->double_value);
+        break;
+      case Kind::kString:
+        opt->string_value = value;
+        ok = true;
+        break;
+      case Kind::kFlag:
+        break;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "%s: bad value '%s' for option '--%s'\n", program_.c_str(),
+                   value.c_str(), token.c_str());
+      exit_code = 2;
+      return false;
+    }
+  }
+  exit_code = 0;
+  return true;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return find_checked(name, Kind::kInt)->int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return find_checked(name, Kind::kDouble)->double_value;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find_checked(name, Kind::kString)->string_value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find_checked(name, Kind::kFlag)->flag_value;
+}
+
+std::string ArgParser::help_text() const {
+  std::string out = program_ + " — " + description_ + "\n\noptions:\n";
+  for (const auto& opt : options_) {
+    out += "  --" + opt.name;
+    switch (opt.kind) {
+      case Kind::kInt:
+        out += " <int>      (default " + std::to_string(opt.int_value);
+        if (!opt.env.empty()) out += ", env " + opt.env;
+        out += ")";
+        break;
+      case Kind::kDouble:
+        out += " <float>    (default " + format_double(opt.double_value, 3) + ")";
+        break;
+      case Kind::kString:
+        out += " <string>   (default '" + opt.string_value + "')";
+        break;
+      case Kind::kFlag:
+        out += "            (flag)";
+        break;
+    }
+    out += "\n      " + opt.help + "\n";
+  }
+  out += "  --help\n      print this message\n";
+  return out;
+}
+
+}  // namespace pamr

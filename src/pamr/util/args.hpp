@@ -1,0 +1,62 @@
+// Tiny declarative CLI parser for the bench and example binaries.
+//
+// Supported syntax: --name value, --name=value, --flag. Every binary also
+// honours --help (prints registered options and exits 0). Integer options
+// fall back to a same-named environment variable (upper-snake, PAMR_
+// prefix), which is how PAMR_TRIALS scales the Monte-Carlo campaigns.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pamr {
+
+class ArgParser {
+ public:
+  ArgParser(std::string program, std::string description);
+
+  /// Registration: call before parse(). `env` (optional) names an
+  /// environment variable consulted when the option is absent.
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help, const std::string& env = {});
+  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_flag(const std::string& name, const std::string& help);
+
+  /// Parses argv. Returns false if the program should exit (after --help or
+  /// a reported error); `exit_code` is set accordingly.
+  [[nodiscard]] bool parse(int argc, const char* const* argv, int& exit_code);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] double get_double(const std::string& name) const;
+  [[nodiscard]] const std::string& get_string(const std::string& name) const;
+  [[nodiscard]] bool get_flag(const std::string& name) const;
+
+  [[nodiscard]] std::string help_text() const;
+
+ private:
+  enum class Kind { kInt, kDouble, kString, kFlag };
+
+  struct Option {
+    std::string name;
+    Kind kind;
+    std::string help;
+    std::string env;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+    bool flag_value = false;
+  };
+
+  [[nodiscard]] Option* find(const std::string& name);
+  [[nodiscard]] const Option* find_checked(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::vector<Option> options_;
+};
+
+}  // namespace pamr

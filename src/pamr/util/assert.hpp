@@ -1,0 +1,53 @@
+// Lightweight assertion macros for libpamr.
+//
+// PAMR_ASSERT is active in all build types (the library is a research
+// artifact: silently wrong routings are far more expensive than the cost of
+// a branch), and prints the failing expression with source location before
+// aborting. PAMR_CHECK throws std::logic_error instead of aborting and is
+// used for validating *user-provided* inputs on public API boundaries, where
+// a recoverable error is preferable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace pamr {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "PAMR_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  throw std::logic_error("PAMR_CHECK failed: " + std::string(expr) + " at " +
+                         file + ":" + std::to_string(line) +
+                         (msg.empty() ? "" : " — " + msg));
+}
+
+}  // namespace pamr
+
+#define PAMR_ASSERT(expr)                                    \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::pamr::assert_fail(#expr, __FILE__, __LINE__, "");    \
+    }                                                        \
+  } while (false)
+
+#define PAMR_ASSERT_MSG(expr, msg)                           \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::pamr::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                        \
+  } while (false)
+
+#define PAMR_CHECK(expr, msg)                                \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::pamr::check_fail(#expr, __FILE__, __LINE__, (msg));  \
+    }                                                        \
+  } while (false)

@@ -1,0 +1,111 @@
+#include "pamr/util/csv.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "pamr/util/assert.hpp"
+#include "pamr/util/log.hpp"
+#include "pamr/util/string_util.hpp"
+
+namespace pamr {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  PAMR_CHECK(!header_.empty(), "a table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  PAMR_CHECK(row.size() <= header_.size(), "row wider than header");
+  row.resize(header_.size(), Cell{std::string{}});
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(const Cell& cell) const {
+  if (const auto* text = std::get_if<std::string>(&cell)) return *text;
+  if (const auto* integer = std::get_if<std::int64_t>(&cell))
+    return std::to_string(*integer);
+  return format_double(std::get<double>(cell), precision_);
+}
+
+std::string Table::to_text() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      cells.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], cells.back().size());
+    }
+    rendered.push_back(std::move(cells));
+  }
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c] << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(header_);
+  out << '|';
+  for (const auto w : widths) out << std::string(w + 2, '-') << '|';
+  out << '\n';
+  for (const auto& row : rendered) emit_row(row);
+  return out.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out << ',';
+    out << csv_escape(header_[c]);
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      out << csv_escape(format_cell(row[c]));
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    PAMR_LOG_WARN("cannot open '" + path + "' for writing");
+    return false;
+  }
+  file << to_csv();
+  return static_cast<bool>(file);
+}
+
+std::string output_directory() {
+  if (const char* env = std::getenv("PAMR_OUT_DIR")) {
+    if (env[0] != '\0') return env;
+  }
+  return ".";
+}
+
+}  // namespace pamr

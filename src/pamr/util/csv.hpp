@@ -1,0 +1,50 @@
+// Tabular output: aligned text tables for the terminal (the benches print
+// the same series the paper's figures plot) and CSV files for re-plotting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace pamr {
+
+/// A cell is text, an integer, or a double (formatted with per-table
+/// precision). Missing cells render as empty.
+using Cell = std::variant<std::string, std::int64_t, double>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  [[nodiscard]] std::size_t columns() const noexcept { return header_.size(); }
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Appends a row; shorter rows are padded with empty cells, longer rows
+  /// are an error.
+  void add_row(std::vector<Cell> row);
+
+  void set_double_precision(int precision) noexcept { precision_ = precision; }
+
+  /// Renders an aligned, pipe-separated text table.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to `path`; returns false (and logs) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::string format_cell(const Cell& cell) const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Output directory for experiment artifacts: $PAMR_OUT_DIR or "." .
+[[nodiscard]] std::string output_directory();
+
+}  // namespace pamr

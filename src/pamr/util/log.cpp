@@ -1,0 +1,57 @@
+#include "pamr/util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "pamr/util/string_util.hpp"
+
+namespace pamr {
+
+namespace {
+
+LogLevel parse_level_env() {
+  const char* env = std::getenv("PAMR_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  const std::string value = to_lower(env);
+  if (value == "debug") return LogLevel::kDebug;
+  if (value == "info") return LogLevel::kInfo;
+  if (value == "warn" || value == "warning") return LogLevel::kWarn;
+  if (value == "error") return LogLevel::kError;
+  if (value == "off" || value == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+std::atomic<LogLevel>& level_storage() noexcept {
+  static std::atomic<LogLevel> level{parse_level_env()};
+  return level;
+}
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept { return level_storage().load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(level, std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* where, const std::string& message) {
+  if (level < log_level()) return;
+  static std::mutex mutex;
+  std::lock_guard<std::mutex> lock(mutex);
+  std::fprintf(stderr, "[pamr %s] %s: %s\n", level_name(level), where, message.c_str());
+}
+
+}  // namespace pamr

@@ -1,0 +1,154 @@
+#include "pamr/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n_total = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double nt = static_cast<double>(n_total);
+  mean_ += delta * nb / nt;
+  m2_ += other.m2_ + delta * delta * na * nb / nt;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ = n_total;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::ci95_halfwidth() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  PAMR_ASSERT(hi > lo);
+  PAMR_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  std::size_t bin = 0;
+  if (x < lo_) {
+    ++underflow_;
+    bin = 0;
+  } else if (x >= hi_) {
+    ++overflow_;
+    bin = counts_.size() - 1;
+  } else {
+    const double t = (x - lo_) / (hi_ - lo_);
+    bin = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>(t * static_cast<double>(counts_.size())));
+  }
+  ++counts_[bin];
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  PAMR_ASSERT(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  PAMR_ASSERT(bin < counts_.size());
+  const double w = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + w * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::quantile(double q) const {
+  PAMR_ASSERT(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return lo_;
+  const double target = q * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double next = cumulative + static_cast<double>(counts_[b]);
+    if (next >= target) {
+      const double inside =
+          counts_[b] > 0 ? (target - cumulative) / static_cast<double>(counts_[b]) : 0.0;
+      return bin_lo(b) + inside * (bin_hi(b) - bin_lo(b));
+    }
+    cumulative = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::ostringstream out;
+  std::size_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar =
+        static_cast<std::size_t>(static_cast<double>(counts_[b]) /
+                                 static_cast<double>(peak) * static_cast<double>(width));
+    out << '[';
+    out.width(10);
+    out << bin_lo(b) << ", ";
+    out.width(10);
+    out << bin_hi(b) << ") ";
+    out << std::string(bar, '#') << ' ' << counts_[b] << '\n';
+  }
+  return out.str();
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  // Pairwise summation: O(log n) error growth instead of O(n).
+  struct Pairwise {
+    static double sum(const double* data, std::size_t n) {
+      if (n <= 8) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < n; ++i) s += data[i];
+        return s;
+      }
+      const std::size_t half = n / 2;
+      return sum(data, half) + sum(data + half, n - half);
+    }
+  };
+  return Pairwise::sum(xs.data(), xs.size()) / static_cast<double>(xs.size());
+}
+
+double median_of(std::vector<double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1, xs.end());
+  return 0.5 * (hi + xs[mid - 1]);
+}
+
+}  // namespace pamr

@@ -1,0 +1,97 @@
+#include "pamr/util/string_util.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pamr {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(start));
+      break;
+    }
+    parts.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+  return text.substr(begin, end - begin);
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_double(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+std::string format_bandwidth_mbps(double mbps) {
+  if (mbps >= 1000.0) return format_double(mbps / 1000.0, 2) + " Gb/s";
+  return format_double(mbps, 1) + " Mb/s";
+}
+
+std::string format_power_mw(double mw) {
+  if (mw >= 1000.0) return format_double(mw / 1000.0, 3) + " W";
+  return format_double(mw, 2) + " mW";
+}
+
+std::string format_duration_s(double seconds) {
+  if (seconds < 1e-3) return format_double(seconds * 1e6, 1) + " us";
+  if (seconds < 1.0) return format_double(seconds * 1e3, 1) + " ms";
+  return format_double(seconds, 2) + " s";
+}
+
+bool parse_int64(std::string_view text, std::int64_t& out) noexcept {
+  const std::string buf{trim(text)};
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  out = static_cast<std::int64_t>(value);
+  return true;
+}
+
+bool parse_double(std::string_view text, double& out) noexcept {
+  const std::string buf{trim(text)};
+  if (buf.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace pamr

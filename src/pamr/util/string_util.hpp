@@ -1,0 +1,30 @@
+// Small string helpers shared by the CLI parser, CSV writer and loggers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pamr {
+
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char sep);
+[[nodiscard]] std::string_view trim(std::string_view text) noexcept;
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+[[nodiscard]] std::string to_lower(std::string_view text);
+[[nodiscard]] std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Fixed-precision double formatting ("%.*f") without iostream state leaks.
+[[nodiscard]] std::string format_double(double value, int precision = 4);
+
+/// Human-readable quantities for logs: "1.25 Gb/s", "16.9 mW", "24.3 ms".
+[[nodiscard]] std::string format_bandwidth_mbps(double mbps);
+[[nodiscard]] std::string format_power_mw(double mw);
+[[nodiscard]] std::string format_duration_s(double seconds);
+
+/// Strict parsers: return false (leaving `out` untouched) on any trailing
+/// garbage, overflow or empty input — CLI misuse should fail loudly.
+[[nodiscard]] bool parse_int64(std::string_view text, std::int64_t& out) noexcept;
+[[nodiscard]] bool parse_double(std::string_view text, double& out) noexcept;
+
+}  // namespace pamr

@@ -1,0 +1,154 @@
+#include "pamr/util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <string>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+struct ThreadPool::ForLoop {
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  // Runs chunks until the cursor is exhausted; returns items completed.
+  std::size_t drain() {
+    std::size_t completed = 0;
+    for (;;) {
+      const std::size_t begin = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + grain, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      }
+      completed += end - begin;
+    }
+    return completed;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 4;
+  }
+  // The calling thread participates in every loop, so spawn one fewer.
+  const std::size_t workers = threads > 1 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_main() {
+  // Epoch of the last loop this worker participated in. Loop objects live
+  // on the submitting thread's stack, so workers key off the monotonically
+  // increasing epoch rather than the (reusable) loop address. The
+  // inside-counter handshake guarantees the submitter never destroys a loop
+  // object while any worker still holds a pointer to it — a worker that
+  // wakes after all items are done must still be waited for, because its
+  // drain() reads the loop's cursor.
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    ForLoop* loop = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this, seen_epoch] {
+        return shutdown_ || (active_ != nullptr && epoch_ != seen_epoch);
+      });
+      if (shutdown_) return;
+      loop = active_;
+      seen_epoch = epoch_;
+      ++inside_;
+    }
+    const std::size_t completed = loop->drain();
+    loop->done.fetch_add(completed, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--inside_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (count == 0) return;
+  PAMR_ASSERT(grain >= 1);
+  if (workers_.empty() || count <= grain) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  ForLoop loop;
+  loop.count = count;
+  loop.grain = grain;
+  loop.body = &body;
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    PAMR_ASSERT_MSG(active_ == nullptr, "nested parallel_for is not supported");
+    active_ = &loop;
+    ++epoch_;
+  }
+  wake_.notify_all();
+
+  const std::size_t completed = loop.drain();
+  loop.done.fetch_add(completed, std::memory_order_acq_rel);
+  // All items have been *started* once the shared cursor saturates; wait for
+  // the stragglers actually executing them. Item bodies are microseconds to
+  // milliseconds, so a yield loop is cheaper than another condvar round-trip.
+  while (loop.done.load(std::memory_order_acquire) < count) {
+    std::this_thread::yield();
+  }
+
+  {
+    // Close the loop: stop new workers from entering (active_ = nullptr is
+    // re-checked under the lock by the wait predicate) and wait until every
+    // worker that did enter has released its pointer to the stack-allocated
+    // loop object.
+    std::unique_lock<std::mutex> lock(mutex_);
+    active_ = nullptr;
+    idle_.wait(lock, [this] { return inside_ == 0; });
+  }
+
+  if (loop.error) std::rethrow_exception(loop.error);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("PAMR_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) return static_cast<std::size_t>(parsed);
+    }
+    return static_cast<std::size_t>(0);
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t grain) {
+  ThreadPool::global().parallel_for(count, body, grain);
+}
+
+}  // namespace pamr

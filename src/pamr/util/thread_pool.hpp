@@ -1,0 +1,63 @@
+// Work-stealing-free, chunk-scheduled thread pool for Monte-Carlo campaigns.
+//
+// The workloads here are embarrassingly parallel: N independent instances
+// per plotted point, each a few hundred microseconds to a few milliseconds.
+// A simple shared-queue pool with static chunking via an atomic cursor is
+// within noise of more elaborate schedulers for this shape of work and is
+// dramatically easier to reason about. Determinism is preserved by indexing
+// all randomness by the *item index*, never by the executing thread.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pamr {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for all i in [0, count), distributing contiguous chunks of
+  /// `grain` items over the workers plus the calling thread. Blocks until
+  /// all items have completed. Exceptions thrown by `body` propagate to the
+  /// caller (the first one captured wins; remaining items are drained).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Process-wide pool, sized from PAMR_THREADS if set, else hardware
+  /// concurrency. Constructed on first use.
+  static ThreadPool& global();
+
+ private:
+  struct ForLoop;
+
+  void worker_main();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;  ///< workers wait here for a new loop
+  std::condition_variable idle_;  ///< submitter waits here for workers to leave
+  ForLoop* active_ = nullptr;     // guarded by mutex_ for pointer handoff
+  std::uint64_t epoch_ = 0;       // bumped per submitted loop (guarded by mutex_)
+  std::size_t inside_ = 0;        // workers currently holding a loop pointer
+  bool shutdown_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().parallel_for.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                  std::size_t grain = 1);
+
+}  // namespace pamr

@@ -1,0 +1,12 @@
+#include "pamr/util/timer.hpp"
+
+#include "pamr/util/log.hpp"
+#include "pamr/util/string_util.hpp"
+
+namespace pamr {
+
+ScopedTimer::~ScopedTimer() {
+  PAMR_LOG_INFO(label_ + ": " + format_duration_s(timer_.elapsed_seconds()));
+}
+
+}  // namespace pamr

@@ -1,0 +1,41 @@
+// Wall-clock timing for the experiment harness (the paper reports heuristic
+// runtimes: "24 ms for XYI, 38 ms for PR" — bench/micro_heuristics
+// regenerates that row).
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace pamr {
+
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  [[nodiscard]] double elapsed_ms() const noexcept { return elapsed_seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Logs "<label>: <elapsed>" at info level on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string label) noexcept : label_(std::move(label)) {}
+  ~ScopedTimer();
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string label_;
+  WallTimer timer_;
+};
+
+}  // namespace pamr

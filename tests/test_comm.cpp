@@ -1,0 +1,281 @@
+// Unit tests for pamr/comm: workload generators (§6), traffic patterns and
+// the task-graph front end (§1's system-level view).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/comm/task_graph.hpp"
+#include "pamr/comm/traffic_pattern.hpp"
+
+namespace pamr {
+namespace {
+
+TEST(Communication, OrderingAndTotals) {
+  const CommSet comms{
+      {{0, 0}, {1, 1}, 100.0}, {{0, 0}, {2, 2}, 300.0}, {{1, 0}, {0, 1}, 200.0}};
+  EXPECT_DOUBLE_EQ(total_weight(comms), 600.0);
+  EXPECT_EQ(order_by_decreasing_weight(comms),
+            (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_DOUBLE_EQ(mean_length(comms), (2.0 + 4.0 + 2.0) / 3.0);
+}
+
+TEST(Communication, OrderingIsStableOnTies) {
+  const CommSet comms{
+      {{0, 0}, {1, 1}, 5.0}, {{0, 0}, {2, 2}, 5.0}, {{1, 0}, {0, 1}, 5.0}};
+  EXPECT_EQ(order_by_decreasing_weight(comms), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(GenerateUniform, RespectsSpec) {
+  const Mesh mesh(8, 8);
+  Rng rng(1);
+  UniformWorkload spec;
+  spec.num_comms = 500;
+  spec.weight_lo = 100.0;
+  spec.weight_hi = 1500.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  ASSERT_EQ(comms.size(), 500u);
+  for (const auto& comm : comms) {
+    EXPECT_TRUE(mesh.contains(comm.src));
+    EXPECT_TRUE(mesh.contains(comm.snk));
+    EXPECT_NE(comm.src, comm.snk);
+    EXPECT_GE(comm.weight, 100.0);
+    EXPECT_LT(comm.weight, 1500.0);
+  }
+}
+
+TEST(GenerateUniform, Deterministic) {
+  const Mesh mesh(8, 8);
+  Rng a(7);
+  Rng b(7);
+  UniformWorkload spec;
+  spec.num_comms = 50;
+  EXPECT_EQ(generate_uniform(mesh, spec, a), generate_uniform(mesh, spec, b));
+}
+
+TEST(GenerateUniform, EndpointsCoverTheMesh) {
+  const Mesh mesh(4, 4);
+  Rng rng(3);
+  UniformWorkload spec;
+  spec.num_comms = 2000;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  std::set<std::int32_t> sources;
+  for (const auto& comm : comms) sources.insert(mesh.core_index(comm.src));
+  EXPECT_EQ(sources.size(), 16u);
+}
+
+TEST(CoresAtDistance, MatchesBruteForce) {
+  const Mesh mesh(5, 6);
+  for (const Coord src : {Coord{0, 0}, Coord{2, 3}, Coord{4, 5}}) {
+    for (std::int32_t dist = 1; dist <= 9; ++dist) {
+      std::set<std::pair<int, int>> expected;
+      for (std::int32_t i = 0; i < mesh.num_cores(); ++i) {
+        const Coord c = mesh.core_coord(i);
+        if (manhattan_distance(src, c) == dist) expected.insert({c.u, c.v});
+      }
+      std::set<std::pair<int, int>> actual;
+      for (const Coord c : cores_at_distance(mesh, src, dist)) {
+        EXPECT_TRUE(actual.insert({c.u, c.v}).second) << "duplicate emitted";
+      }
+      EXPECT_EQ(actual, expected) << "src=" << to_string(src) << " dist=" << dist;
+    }
+  }
+}
+
+TEST(GenerateWithLength, AllCommsHaveExactLength) {
+  const Mesh mesh(8, 8);
+  Rng rng(5);
+  for (const std::int32_t target : {2, 5, 9, 14}) {
+    const CommSet comms = generate_with_length(mesh, 200, 100.0, 500.0, target, rng);
+    ASSERT_EQ(comms.size(), 200u);
+    for (const auto& comm : comms) {
+      EXPECT_EQ(manhattan_distance(comm.src, comm.snk), target);
+    }
+  }
+}
+
+TEST(GenerateWithLength, ClampsOutOfRangeTargets) {
+  const Mesh mesh(4, 4);
+  Rng rng(5);
+  const CommSet comms = generate_with_length(mesh, 20, 100.0, 500.0, 99, rng);
+  for (const auto& comm : comms) {
+    EXPECT_EQ(manhattan_distance(comm.src, comm.snk), 6);  // p+q-2
+  }
+}
+
+TEST(TrafficPattern, TransposeIsAnInvolutionOffDiagonal) {
+  const Mesh mesh(4, 4);
+  Rng rng(1);
+  PatternSpec spec;
+  spec.pattern = TrafficPattern::kTranspose;
+  const CommSet comms = generate_pattern(mesh, spec, rng);
+  EXPECT_EQ(comms.size(), 12u);  // 16 cores minus 4 on the diagonal
+  for (const auto& comm : comms) {
+    EXPECT_EQ(comm.snk, (Coord{comm.src.v, comm.src.u}));
+  }
+}
+
+TEST(TrafficPattern, BitComplementReachesOppositeCorner) {
+  const Mesh mesh(4, 4);
+  Rng rng(1);
+  PatternSpec spec;
+  spec.pattern = TrafficPattern::kBitComplement;
+  const CommSet comms = generate_pattern(mesh, spec, rng);
+  EXPECT_EQ(comms.size(), 16u);
+  for (const auto& comm : comms) {
+    EXPECT_EQ(comm.snk, (Coord{3 - comm.src.u, 3 - comm.src.v}));
+  }
+}
+
+TEST(TrafficPattern, HotspotConcentrates) {
+  const Mesh mesh(4, 4);
+  Rng rng(1);
+  PatternSpec spec;
+  spec.pattern = TrafficPattern::kHotspot;
+  spec.hotspot = {1, 2};
+  const CommSet comms = generate_pattern(mesh, spec, rng);
+  EXPECT_EQ(comms.size(), 15u);
+  for (const auto& comm : comms) EXPECT_EQ(comm.snk, (Coord{1, 2}));
+}
+
+TEST(TrafficPattern, NeighborWrapsEast) {
+  const Mesh mesh(2, 4);
+  Rng rng(1);
+  PatternSpec spec;
+  spec.pattern = TrafficPattern::kNeighbor;
+  const CommSet comms = generate_pattern(mesh, spec, rng);
+  EXPECT_EQ(comms.size(), 8u);
+  for (const auto& comm : comms) {
+    EXPECT_EQ(comm.snk.v, (comm.src.v + 1) % 4);
+    EXPECT_EQ(comm.snk.u, comm.src.u);
+  }
+}
+
+TEST(TrafficPattern, BitPatternsPermute) {
+  const Mesh mesh(4, 4);  // 16 cores, power of two
+  Rng rng(1);
+  for (const auto pattern : {TrafficPattern::kBitReverse, TrafficPattern::kShuffle}) {
+    PatternSpec spec;
+    spec.pattern = pattern;
+    const CommSet comms = generate_pattern(mesh, spec, rng);
+    std::set<std::int32_t> destinations;
+    for (const auto& comm : comms) destinations.insert(mesh.core_index(comm.snk));
+    // A permutation minus fixed points: destinations are distinct.
+    EXPECT_EQ(destinations.size(), comms.size());
+  }
+}
+
+TEST(TrafficPattern, JitterStaysInBounds) {
+  const Mesh mesh(4, 4);
+  Rng rng(1);
+  PatternSpec spec;
+  spec.pattern = TrafficPattern::kBitComplement;
+  spec.weight = 1000.0;
+  spec.weight_jitter = 0.2;
+  const CommSet comms = generate_pattern(mesh, spec, rng);
+  for (const auto& comm : comms) {
+    EXPECT_GE(comm.weight, 800.0);
+    EXPECT_LE(comm.weight, 1200.0);
+  }
+}
+
+TEST(TrafficPattern, ShapePreconditionsEnforced) {
+  const Mesh rectangular(2, 4);
+  Rng rng(1);
+  PatternSpec transpose;
+  transpose.pattern = TrafficPattern::kTranspose;
+  EXPECT_THROW((void)generate_pattern(rectangular, transpose, rng), std::logic_error);
+  const Mesh odd(3, 3);
+  PatternSpec reverse;
+  reverse.pattern = TrafficPattern::kBitReverse;
+  EXPECT_THROW((void)generate_pattern(odd, reverse, rng), std::logic_error);
+}
+
+TEST(TaskGraph, PipelineShape) {
+  const TaskGraph graph = TaskGraph::pipeline(4, 800.0);
+  EXPECT_EQ(graph.num_tasks(), 4);
+  EXPECT_EQ(graph.edges().size(), 3u);
+  EXPECT_TRUE(graph.is_acyclic());
+}
+
+TEST(TaskGraph, ForkJoinShape) {
+  const TaskGraph graph = TaskGraph::fork_join(3, 500.0);
+  EXPECT_EQ(graph.num_tasks(), 5);
+  EXPECT_EQ(graph.edges().size(), 6u);
+  EXPECT_TRUE(graph.is_acyclic());
+}
+
+TEST(TaskGraph, StencilShape) {
+  const TaskGraph graph = TaskGraph::stencil(3, 2, 100.0);
+  EXPECT_EQ(graph.num_tasks(), 6);
+  EXPECT_EQ(graph.edges().size(), 2 * 2 + 3 * 1);  // east + south edges
+  EXPECT_TRUE(graph.is_acyclic());
+}
+
+TEST(TaskGraph, DetectsCycles) {
+  TaskGraph graph("cyclic");
+  const TaskId a = graph.add_task("a");
+  const TaskId b = graph.add_task("b");
+  graph.add_edge(a, b, 1.0);
+  graph.add_edge(b, a, 1.0);
+  EXPECT_FALSE(graph.is_acyclic());
+}
+
+TEST(Mapping, RowMajorPlacesContiguously) {
+  const Mesh mesh(4, 4);
+  const TaskGraph graph = TaskGraph::pipeline(5, 100.0);
+  const Mapping mapping = map_row_major(graph, mesh, {1, 2});
+  ASSERT_EQ(mapping.task_to_core.size(), 5u);
+  EXPECT_EQ(mapping.task_to_core[0], (Coord{1, 2}));
+  EXPECT_EQ(mapping.task_to_core[1], (Coord{1, 3}));
+  EXPECT_EQ(mapping.task_to_core[2], (Coord{2, 0}));
+}
+
+TEST(Mapping, RandomPlacesOnDistinctCores) {
+  const Mesh mesh(3, 3);
+  const TaskGraph graph = TaskGraph::stencil(3, 3, 100.0);
+  Rng rng(21);
+  const Mapping mapping = map_random(graph, mesh, rng);
+  std::set<std::int32_t> cores;
+  for (const Coord c : mapping.task_to_core) cores.insert(mesh.core_index(c));
+  EXPECT_EQ(cores.size(), 9u);
+}
+
+TEST(ExtractCommunications, DropsIntraCoreAndMerges) {
+  const Mesh mesh(3, 3);
+  TaskGraph graph("app");
+  const TaskId a = graph.add_task("a");
+  const TaskId b = graph.add_task("b");
+  const TaskId c = graph.add_task("c");
+  graph.add_edge(a, b, 100.0);
+  graph.add_edge(a, c, 50.0);
+  graph.add_edge(b, c, 70.0);
+  Mapping mapping;
+  mapping.task_to_core = {{0, 0}, {0, 0}, {1, 1}};  // a and b share a core
+
+  const CommSet separate = extract_communications({{&graph, mapping}}, false);
+  EXPECT_EQ(separate.size(), 2u);  // a→b vanished
+
+  const CommSet merged = extract_communications({{&graph, mapping}}, true);
+  ASSERT_EQ(merged.size(), 1u);  // a→c and b→c merge: same core pair
+  EXPECT_DOUBLE_EQ(merged[0].weight, 120.0);
+}
+
+TEST(ExtractCommunications, RejectsCyclesAndBadMappings) {
+  TaskGraph cyclic("bad");
+  const TaskId a = cyclic.add_task("a");
+  const TaskId b = cyclic.add_task("b");
+  cyclic.add_edge(a, b, 1.0);
+  cyclic.add_edge(b, a, 1.0);
+  Mapping mapping;
+  mapping.task_to_core = {{0, 0}, {0, 1}};
+  EXPECT_THROW((void)extract_communications({{&cyclic, mapping}}), std::logic_error);
+
+  const TaskGraph ok = TaskGraph::pipeline(3, 1.0);
+  Mapping short_mapping;
+  short_mapping.task_to_core = {{0, 0}};
+  EXPECT_THROW((void)extract_communications({{&ok, short_mapping}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pamr

@@ -1,0 +1,253 @@
+// Edge-case and robustness tests across the stack: degenerate meshes
+// (single row/column, 2×2), extreme simulator configurations, boundary
+// workloads, and parameterized sweeps over mesh shapes and model exponents.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/opt/frank_wolfe.hpp"
+#include "pamr/opt/split_router.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/sim/simulator.hpp"
+
+namespace pamr {
+namespace {
+
+// ---------------------------------------------------------------- meshes --
+
+using MeshShape = std::pair<int, int>;
+
+class DegenerateMeshRouting
+    : public ::testing::TestWithParam<std::tuple<MeshShape, RouterKind>> {};
+
+TEST_P(DegenerateMeshRouting, EveryPolicyHandlesNarrowMeshes) {
+  const auto [shape, kind] = GetParam();
+  const Mesh mesh(shape.first, shape.second);
+  const PowerModel model = PowerModel::paper_discrete();
+  Rng rng(derive_seed(0xED6E, static_cast<std::uint64_t>(shape.first),
+                      static_cast<std::uint64_t>(shape.second)));
+  CommSet comms;
+  for (int i = 0; i < 6; ++i) {
+    const auto src =
+        static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(mesh.num_cores())));
+    auto snk = src;
+    while (snk == src) {
+      snk = static_cast<std::int32_t>(
+          rng.below(static_cast<std::uint64_t>(mesh.num_cores())));
+    }
+    comms.push_back(Communication{mesh.core_coord(src), mesh.core_coord(snk),
+                                  rng.uniform(100.0, 400.0)});
+  }
+  const RouteResult result = make_router(kind)->route(mesh, comms, model);
+  ASSERT_TRUE(result.routing.has_value()) << to_cstring(kind);
+  EXPECT_TRUE(validate_structure(mesh, comms, *result.routing, 1).ok)
+      << to_cstring(kind);
+  // Light loads on these shapes are always feasible.
+  EXPECT_TRUE(result.valid) << to_cstring(kind);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DegenerateMeshRouting,
+    ::testing::Combine(::testing::Values(MeshShape(1, 10), MeshShape(10, 1),
+                                         MeshShape(2, 2), MeshShape(2, 9),
+                                         MeshShape(3, 16)),
+                       ::testing::Values(RouterKind::kXY, RouterKind::kSG,
+                                         RouterKind::kIG, RouterKind::kTB,
+                                         RouterKind::kXYI, RouterKind::kPR)),
+    [](const auto& param_info) {
+      // No structured bindings here: the comma would split the macro args.
+      const MeshShape shape = std::get<0>(param_info.param);
+      const RouterKind kind = std::get<1>(param_info.param);
+      return std::string(to_cstring(kind)) + "_" + std::to_string(shape.first) + "x" +
+             std::to_string(shape.second);
+    });
+
+TEST(DegenerateMesh, SingleRowForcesUniquePaths) {
+  const Mesh mesh(1, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  const CommSet comms{{{0, 0}, {0, 7}, 1000.0}, {{0, 7}, {0, 2}, 800.0}};
+  for (const RouterKind kind : all_base_routers()) {
+    const RouteResult result = make_router(kind)->route(mesh, comms, model);
+    ASSERT_TRUE(result.valid) << to_cstring(kind);
+    EXPECT_EQ(result.routing->per_comm[0].flows[0].path.length(), 7);
+    EXPECT_EQ(result.routing->per_comm[1].flows[0].path.length(), 5);
+  }
+}
+
+TEST(DegenerateMesh, OppositeDirectionsDoNotShareLinks) {
+  // Links are unidirectional (§3.1): full-rate flows in opposite directions
+  // over the same wire pair must both fit.
+  const Mesh mesh(1, 5);
+  const PowerModel model = PowerModel::paper_discrete();
+  const CommSet comms{{{0, 0}, {0, 4}, 3500.0}, {{0, 4}, {0, 0}, 3500.0}};
+  const RouteResult result = XYRouter().route(mesh, comms, model);
+  EXPECT_TRUE(result.valid);
+}
+
+// ------------------------------------------------------------- workloads --
+
+TEST(Workloads, SingleCommAtExactCapacity) {
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const CommSet comms{{{0, 0}, {3, 3}, 3500.0}};
+  for (const RouterKind kind : all_base_routers()) {
+    EXPECT_TRUE(make_router(kind)->route(mesh, comms, model).valid)
+        << to_cstring(kind);
+  }
+  const CommSet over{{{0, 0}, {3, 3}, 3500.0 + 1.0}};
+  for (const RouterKind kind : all_base_routers()) {
+    EXPECT_FALSE(make_router(kind)->route(mesh, over, model).valid)
+        << to_cstring(kind);
+  }
+}
+
+TEST(Workloads, ManyTinyCommunicationsAggregate) {
+  // 200 × 10 Mb/s between the same pair: any single path carries 2000 —
+  // feasible but quantized to 2.5 Gb/s; splitting across paths could reach
+  // 1 Gb/s links. Validity for all, and BEST ≤ XY.
+  const Mesh mesh(3, 3);
+  const PowerModel model = PowerModel::paper_discrete();
+  CommSet comms;
+  for (int i = 0; i < 200; ++i) comms.push_back({{0, 0}, {2, 2}, 10.0});
+  const RouteResult xy = XYRouter().route(mesh, comms, model);
+  const RouteResult best = BestRouter().route(mesh, comms, model);
+  ASSERT_TRUE(xy.valid);
+  ASSERT_TRUE(best.valid);
+  EXPECT_LE(best.power, xy.power);
+}
+
+TEST(Workloads, WeightBelowOneQuantizesToLowestFrequency) {
+  const Mesh mesh(2, 2);
+  const PowerModel model = PowerModel::paper_discrete();
+  const CommSet comms{{{0, 0}, {0, 1}, 0.5}};
+  const RouteResult result = XYRouter().route(mesh, comms, model);
+  ASSERT_TRUE(result.valid);
+  EXPECT_NEAR(result.power, 16.9 + 5.41, 1e-9);  // one link at 1 Gb/s
+}
+
+// ------------------------------------------------------------- simulator --
+
+TEST(SimEdge, MinimalBuffersStillDeliver) {
+  const Mesh mesh(4, 4);
+  const CommSet comms{{{0, 0}, {3, 3}, 1000.0}};
+  const Routing routing =
+      make_single_path_routing(comms, {xy_path(mesh, {0, 0}, {3, 3})});
+  sim::SimConfig config;
+  config.buffer_depth = 1;
+  config.packet_length = 1;
+  config.cycles = 20000;
+  config.warmup = 4000;
+  const sim::SimStats stats = sim::simulate(mesh, comms, routing, config);
+  EXPECT_GT(stats.delivery_ratio(), 0.99);
+}
+
+TEST(SimEdge, LongPacketsOnSmallBuffersDoNotWedge) {
+  const Mesh mesh(3, 3);
+  const CommSet comms{{{0, 0}, {2, 2}, 1500.0}, {{2, 0}, {0, 2}, 1500.0}};
+  const Routing routing = make_single_path_routing(
+      comms, {xy_path(mesh, {0, 0}, {2, 2}), xy_path(mesh, {2, 0}, {0, 2})});
+  sim::SimConfig config;
+  config.buffer_depth = 2;
+  config.packet_length = 16;  // packets much longer than buffers
+  config.cycles = 30000;
+  config.warmup = 6000;
+  const sim::SimStats stats = sim::simulate(mesh, comms, routing, config);
+  EXPECT_GT(stats.delivery_ratio(), 0.97);
+}
+
+TEST(SimEdge, SingleRowMeshSimulates) {
+  const Mesh mesh(1, 6);
+  const CommSet comms{{{0, 0}, {0, 5}, 1750.0}, {{0, 5}, {0, 0}, 1750.0}};
+  const Routing routing = make_single_path_routing(
+      comms, {xy_path(mesh, {0, 0}, {0, 5}), xy_path(mesh, {0, 5}, {0, 0})});
+  sim::SimConfig config;
+  config.cycles = 20000;
+  config.warmup = 4000;
+  const sim::SimStats stats = sim::simulate(mesh, comms, routing, config);
+  EXPECT_GT(stats.delivery_ratio(), 0.99);
+}
+
+TEST(SimEdge, CrossTrafficThroughOneRouterIsFair) {
+  // Four flows crossing the centre of a 3×3 from the four sides: the
+  // centre router must serve all four directions every cycle.
+  const Mesh mesh(3, 3);
+  const CommSet comms{
+      {{0, 1}, {2, 1}, 3000.0},  // north → south through centre
+      {{2, 1}, {0, 1}, 3000.0},  // south → north
+      {{1, 0}, {1, 2}, 3000.0},  // west → east
+      {{1, 2}, {1, 0}, 3000.0},  // east → west
+  };
+  std::vector<Path> paths;
+  paths.reserve(4);
+  for (const auto& comm : comms) paths.push_back(xy_path(mesh, comm.src, comm.snk));
+  const Routing routing = make_single_path_routing(comms, std::move(paths));
+  sim::SimConfig config;
+  config.cycles = 30000;
+  config.warmup = 6000;
+  const sim::SimStats stats = sim::simulate(mesh, comms, routing, config);
+  EXPECT_GT(stats.delivery_ratio(), 0.98);
+  for (std::size_t flow = 0; flow < 4; ++flow) {
+    EXPECT_NEAR(stats.delivered_mbps(flow), 3000.0, 150.0) << "flow " << flow;
+  }
+}
+
+// ------------------------------------------------------ model parameters --
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, SplittingGainMatchesTheory) {
+  // §1's motivating claim: splitting two equal flows across two routes
+  // saves 2^(α-1) dynamically. Verified end-to-end through the router
+  // stack for several α.
+  const double alpha = GetParam();
+  const Mesh mesh(2, 2);
+  const PowerModel model = PowerModel::theory(alpha, 100.0);
+  const CommSet comms{{{0, 0}, {1, 1}, 8.0}, {{0, 0}, {1, 1}, 8.0}};
+  const RouteResult xy = XYRouter().route(mesh, comms, model);
+  const RouteResult best = BestRouter().route(mesh, comms, model);
+  ASSERT_TRUE(xy.valid);
+  ASSERT_TRUE(best.valid);
+  EXPECT_NEAR(xy.power / best.power, std::pow(2.0, alpha - 1.0), 1e-9);
+}
+
+TEST_P(AlphaSweep, FrankWolfeBoundHoldsAcrossAlpha) {
+  const double alpha = GetParam();
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::theory(alpha, 1e18);
+  Rng rng(0xA1FA);
+  UniformWorkload spec;
+  spec.num_comms = 8;
+  spec.weight_lo = 1.0;
+  spec.weight_hi = 10.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  const FrankWolfeResult fw = solve_max_mp(mesh, comms, model);
+  const RouteResult best = BestRouter().route(mesh, comms, model);
+  ASSERT_TRUE(best.valid);
+  EXPECT_LE(fw.lower_bound, best.breakdown.dynamic_part * (1.0 + 1e-9));
+  EXPECT_LE(fw.objective, best.breakdown.dynamic_part * (1.0 + 1e-6));
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep, ::testing::Values(2.1, 2.5, 2.95, 3.0),
+                         [](const ::testing::TestParamInfo<double>& param_info) {
+                           const int millis =
+                               static_cast<int>(param_info.param * 100 + 0.5);
+                           return "alpha_" + std::to_string(millis);
+                         });
+
+TEST(SplitEdge, SplitOnStraightLineMergesToOnePath) {
+  // A straight-line communication has one Manhattan path: the s-MP splitter
+  // must merge all parts back into a single flow.
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const CommSet comms{{{1, 0}, {1, 3}, 2000.0}};
+  const SplitRouteResult result = route_split(mesh, comms, model, 4);
+  ASSERT_TRUE(result.valid);
+  ASSERT_EQ(result.routing.per_comm[0].flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.routing.per_comm[0].flows[0].weight, 2000.0);
+}
+
+}  // namespace
+}  // namespace pamr

@@ -1,0 +1,229 @@
+// Tests for the §6 experiment harness: metric bookkeeping, campaign
+// determinism, and coarse shape checks of the panels (full-resolution
+// sweeps live in bench/).
+#include <gtest/gtest.h>
+
+#include "pamr/exp/campaign.hpp"
+#include "pamr/exp/instance_runner.hpp"
+#include "pamr/exp/panels.hpp"
+
+namespace pamr {
+namespace exp {
+namespace {
+
+TEST(Metrics, SeriesNamesMatchPaperLegend) {
+  EXPECT_STREQ(series_name(0), "XY");
+  EXPECT_STREQ(series_name(1), "SG");
+  EXPECT_STREQ(series_name(2), "IG");
+  EXPECT_STREQ(series_name(3), "TB");
+  EXPECT_STREQ(series_name(4), "XYI");
+  EXPECT_STREQ(series_name(5), "PR");
+  EXPECT_STREQ(series_name(kBestSeries), "BEST");
+}
+
+TEST(Metrics, BestIsDerivedAsTheValidMinimum) {
+  std::array<HeuristicSample, kNumBaseRouters> base{};
+  base[0] = {false, 0.0, 0.0, 1.0};         // XY failed
+  base[1] = {true, 200.0, 20.0, 2.0};       // SG
+  base[2] = {true, 150.0, 15.0, 3.0};       // IG — the winner
+  base[3] = {true, 180.0, 18.0, 1.5};       // TB
+  base[4] = {false, 0.0, 0.0, 4.0};         // XYI failed
+  base[5] = {true, 160.0, 16.0, 5.0};       // PR
+  const InstanceSample sample = make_instance_sample(base);
+  const HeuristicSample& best = sample.series[kBestSeries];
+  EXPECT_TRUE(best.valid);
+  EXPECT_DOUBLE_EQ(best.power, 150.0);
+  EXPECT_DOUBLE_EQ(best.static_power, 15.0);
+  EXPECT_DOUBLE_EQ(best.elapsed_ms, 16.5);  // sum of all six
+}
+
+TEST(Metrics, BestFailsWhenEveryoneFails) {
+  std::array<HeuristicSample, kNumBaseRouters> base{};
+  const InstanceSample sample = make_instance_sample(base);
+  EXPECT_FALSE(sample.series[kBestSeries].valid);
+  EXPECT_DOUBLE_EQ(sample.series[kBestSeries].inverse_power(), 0.0);
+}
+
+TEST(Metrics, AggregateNormalizesAgainstBest) {
+  PointAggregate aggregate;
+  std::array<HeuristicSample, kNumBaseRouters> base{};
+  for (std::size_t h = 0; h < kNumBaseRouters; ++h) base[h] = {true, 100.0, 10.0, 1.0};
+  base[5] = {true, 50.0, 5.0, 1.0};  // PR twice as good
+  aggregate.add(make_instance_sample(base));
+  EXPECT_EQ(aggregate.instances, 1u);
+  EXPECT_DOUBLE_EQ(aggregate.normalized_inverse[5].mean(), 1.0);   // PR == BEST
+  EXPECT_DOUBLE_EQ(aggregate.normalized_inverse[0].mean(), 0.5);   // XY at half
+  EXPECT_DOUBLE_EQ(aggregate.failure_ratio(0), 0.0);
+  EXPECT_DOUBLE_EQ(aggregate.static_fraction.mean(), 0.1);
+}
+
+TEST(Metrics, MergeMatchesSequentialAggregation) {
+  Rng rng(1);
+  std::vector<InstanceSample> samples;
+  for (int i = 0; i < 50; ++i) {
+    std::array<HeuristicSample, kNumBaseRouters> base{};
+    for (std::size_t h = 0; h < kNumBaseRouters; ++h) {
+      base[h].valid = rng.chance(0.7);
+      base[h].power = rng.uniform(50.0, 500.0);
+      base[h].static_power = base[h].power * 0.15;
+      base[h].elapsed_ms = rng.uniform(0.1, 5.0);
+    }
+    samples.push_back(make_instance_sample(base));
+  }
+  PointAggregate all;
+  PointAggregate left;
+  PointAggregate right;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    all.add(samples[i]);
+    (i % 2 == 0 ? left : right).add(samples[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.instances, all.instances);
+  for (std::size_t s = 0; s < kNumSeries; ++s) {
+    EXPECT_EQ(left.failures[s], all.failures[s]);
+    EXPECT_NEAR(left.normalized_inverse[s].mean(), all.normalized_inverse[s].mean(),
+                1e-12);
+  }
+}
+
+TEST(Campaign, WorkloadSpecGeneratesWhatItSays) {
+  const Mesh mesh(8, 8);
+  Rng rng(9);
+  WorkloadSpec uniform;
+  uniform.kind = WorkloadSpec::Kind::kUniform;
+  uniform.num_comms = 30;
+  uniform.weight_lo = 200.0;
+  uniform.weight_hi = 900.0;
+  const CommSet a = uniform.generate(mesh, rng);
+  EXPECT_EQ(a.size(), 30u);
+  for (const auto& comm : a) {
+    EXPECT_GE(comm.weight, 200.0);
+    EXPECT_LT(comm.weight, 900.0);
+  }
+  WorkloadSpec fixed;
+  fixed.kind = WorkloadSpec::Kind::kFixedLength;
+  fixed.num_comms = 10;
+  fixed.length = 7;
+  const CommSet b = fixed.generate(mesh, rng);
+  for (const auto& comm : b) {
+    EXPECT_EQ(manhattan_distance(comm.src, comm.snk), 7);
+  }
+}
+
+TEST(Campaign, RunPointIsDeterministicAcrossThreadCounts) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  PointSpec point;
+  point.x = 20;
+  point.workload.num_comms = 20;
+  point.workload.weight_lo = 100.0;
+  point.workload.weight_hi = 1500.0;
+  CampaignOptions options;
+  options.trials = 24;
+  options.seed = 42;
+  const PointAggregate first = run_point(mesh, model, point, options, 3);
+  const PointAggregate second = run_point(mesh, model, point, options, 3);
+  EXPECT_EQ(first.instances, second.instances);
+  for (std::size_t s = 0; s < kNumSeries; ++s) {
+    EXPECT_EQ(first.failures[s], second.failures[s]);
+    EXPECT_DOUBLE_EQ(first.normalized_inverse[s].mean(),
+                     second.normalized_inverse[s].mean());
+  }
+}
+
+TEST(Campaign, NormalizedInverseIsAtMostOneAndBestIsExactlyOneWhenValid) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  PointSpec point;
+  point.x = 30;
+  point.workload.num_comms = 30;
+  point.workload.weight_lo = 100.0;
+  point.workload.weight_hi = 2500.0;
+  CampaignOptions options;
+  options.trials = 16;
+  const PointAggregate aggregate = run_point(mesh, model, point, options, 0);
+  for (std::size_t s = 0; s < kNumSeries; ++s) {
+    EXPECT_LE(aggregate.normalized_inverse[s].max(), 1.0 + 1e-9);
+    EXPECT_GE(aggregate.normalized_inverse[s].min(), 0.0);
+  }
+  // Whenever BEST succeeds its normalized value is 1; failures are 0, so
+  // its mean equals its success rate.
+  EXPECT_NEAR(aggregate.normalized_inverse[kBestSeries].mean(),
+              1.0 - aggregate.failure_ratio(kBestSeries), 1e-12);
+}
+
+TEST(Campaign, FailureOrderingMatchesThePaperHierarchy) {
+  // §6.1: "From the worst one to the best one, we have XY, SG, TB, IG, XYI
+  // and finally PR." Check the coarse ends of that ordering (XY worst, the
+  // portfolio BEST at least as good as anything).
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  PointSpec point;
+  point.x = 50;
+  point.workload.num_comms = 50;
+  point.workload.weight_lo = 100.0;
+  point.workload.weight_hi = 1500.0;
+  CampaignOptions options;
+  options.trials = 32;
+  const PointAggregate aggregate = run_point(mesh, model, point, options, 7);
+  // BEST dominates everything by construction; XYI starts from XY and only
+  // applies strictly improving moves, so it can only fix XY failures, not
+  // create new ones.
+  for (std::size_t s = 0; s < kNumSeries; ++s) {
+    EXPECT_LE(aggregate.failure_ratio(kBestSeries), aggregate.failure_ratio(s) + 1e-12)
+        << series_name(s);
+  }
+  EXPECT_LE(aggregate.failure_ratio(4), aggregate.failure_ratio(0) + 1e-12);
+}
+
+TEST(Panels, DefinitionsMatchThePaperParameters) {
+  const auto fig7 = figure7_panels();
+  ASSERT_EQ(fig7.size(), 3u);
+  EXPECT_EQ(fig7[0].points.back().workload.num_comms, 140);
+  EXPECT_EQ(fig7[1].points.back().workload.num_comms, 70);
+  EXPECT_EQ(fig7[2].points.back().workload.num_comms, 30);
+  EXPECT_DOUBLE_EQ(fig7[0].points[0].workload.weight_lo, 100.0);
+  EXPECT_DOUBLE_EQ(fig7[2].points[0].workload.weight_lo, 2500.0);
+
+  const auto fig8 = figure8_panels();
+  ASSERT_EQ(fig8.size(), 3u);
+  EXPECT_EQ(fig8[0].points[0].workload.num_comms, 10);
+  EXPECT_EQ(fig8[1].points[0].workload.num_comms, 20);
+  EXPECT_EQ(fig8[2].points[0].workload.num_comms, 40);
+
+  const auto fig9 = figure9_panels();
+  ASSERT_EQ(fig9.size(), 3u);
+  for (const auto& panel : fig9) {
+    EXPECT_DOUBLE_EQ(panel.points.front().x, 2.0);
+    EXPECT_DOUBLE_EQ(panel.points.back().x, 14.0);
+  }
+  EXPECT_EQ(fig9[0].points[0].workload.num_comms, 100);
+  EXPECT_EQ(fig9[1].points[0].workload.num_comms, 25);
+  EXPECT_EQ(fig9[2].points[0].workload.num_comms, 12);
+}
+
+TEST(Panels, TablesHaveOneRowPerPointAndAllSeries) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  Panel panel;
+  panel.name = std::string{"tiny"};
+  panel.x_label = std::string{"n"};
+  for (const std::int32_t n : {5, 10}) {
+    PointSpec point;
+    point.x = n;
+    point.workload.num_comms = n;
+    panel.points.push_back(point);
+  }
+  CampaignOptions options;
+  options.trials = 4;
+  const PanelResult result = run_panel(mesh, model, panel.points, options);
+  const Table norm = normalized_inverse_table(panel, result);
+  const Table fail = failure_ratio_table(panel, result);
+  EXPECT_EQ(norm.rows(), 2u);
+  EXPECT_EQ(norm.columns(), 1 + kNumSeries);
+  EXPECT_EQ(fail.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace exp
+}  // namespace pamr

@@ -1,0 +1,118 @@
+// Tests for the power-aware placement optimizer (the system layer above
+// the paper's routing problem).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "pamr/map/placement.hpp"
+#include "pamr/routing/routers.hpp"
+
+namespace pamr {
+namespace {
+
+TEST(Placement, TasksLandOnDistinctCores) {
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph pipe = TaskGraph::pipeline(5, 800.0);
+  const TaskGraph fork = TaskGraph::fork_join(3, 500.0);
+  Rng rng(1);
+  const PlacementResult result =
+      optimize_placement(mesh, {&pipe, &fork}, model, rng);
+  ASSERT_EQ(result.mappings.size(), 2u);
+  std::set<std::int32_t> used;
+  for (const Mapping& mapping : result.mappings) {
+    for (const Coord core : mapping.task_to_core) {
+      EXPECT_TRUE(mesh.contains(core));
+      EXPECT_TRUE(used.insert(mesh.core_index(core)).second) << "core reused";
+    }
+  }
+  EXPECT_EQ(used.size(), 10u);  // 5 + 5 tasks
+}
+
+TEST(Placement, OptimizationDoesNotWorsenTheScore) {
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph pipe = TaskGraph::pipeline(6, 1200.0);
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    // Score of the *initial* random placement: replay the same rng stream.
+    Rng probe(seed);
+    PlacementOptions no_opt;
+    no_opt.max_passes = 0;
+    const PlacementResult initial =
+        optimize_placement(mesh, {&pipe}, model, probe, no_opt);
+
+    Rng rng(seed);
+    const PlacementResult optimized = optimize_placement(mesh, {&pipe}, model, rng);
+    EXPECT_LE(optimized.score, initial.score + 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(Placement, FindsLowPowerLayoutForAPipeline) {
+  // A pipeline's best layouts are snake-like: every edge one hop. The
+  // optimizer should get (close to) there from a random start.
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph pipe = TaskGraph::pipeline(6, 1000.0);
+  Rng rng(7);
+  PlacementOptions options;
+  options.max_passes = 12;
+  const PlacementResult result = optimize_placement(mesh, {&pipe}, model, rng, options);
+  ASSERT_TRUE(result.valid);
+  // Ideal: 5 edges × 1 hop × (16.9 + 5.41) mW at 1 Gb/s.
+  const double ideal = 5.0 * (16.9 + 5.41);
+  EXPECT_LE(result.power, ideal * 1.7);
+}
+
+TEST(Placement, DeterministicGivenSeed) {
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph stencil = TaskGraph::stencil(3, 2, 600.0);
+  Rng a(42);
+  Rng b(42);
+  const PlacementResult first = optimize_placement(mesh, {&stencil}, model, a);
+  const PlacementResult second = optimize_placement(mesh, {&stencil}, model, b);
+  EXPECT_DOUBLE_EQ(first.score, second.score);
+  ASSERT_EQ(first.mappings.size(), second.mappings.size());
+  for (std::size_t m = 0; m < first.mappings.size(); ++m) {
+    EXPECT_EQ(first.mappings[m].task_to_core, second.mappings[m].task_to_core);
+  }
+}
+
+TEST(Placement, ScoreFunctionMatchesOptimizerObjective) {
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph fork = TaskGraph::fork_join(3, 700.0);
+  Rng rng(9);
+  const PlacementResult result = optimize_placement(mesh, {&fork}, model, rng);
+  const double replayed = placement_score(mesh, {&fork}, result.mappings, model);
+  EXPECT_NEAR(result.score, replayed, 1e-9);
+}
+
+TEST(Placement, RejectsOversizedWorkloads) {
+  const Mesh mesh(2, 2);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph big = TaskGraph::pipeline(5, 100.0);
+  Rng rng(1);
+  EXPECT_THROW((void)optimize_placement(mesh, {&big}, model, rng), std::logic_error);
+}
+
+TEST(Placement, BeatsRandomPlacementOnContendedWorkload) {
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const TaskGraph heavy = TaskGraph::stencil(3, 3, 1500.0);
+  // Mean score of random placements vs the optimized one.
+  double random_total = 0.0;
+  const int samples = 5;
+  for (int s = 0; s < samples; ++s) {
+    Rng rng(100 + static_cast<std::uint64_t>(s));
+    PlacementOptions no_opt;
+    no_opt.max_passes = 0;
+    random_total += optimize_placement(mesh, {&heavy}, model, rng, no_opt).score;
+  }
+  Rng rng(100);
+  const PlacementResult optimized = optimize_placement(mesh, {&heavy}, model, rng);
+  EXPECT_LT(optimized.score, random_total / samples);
+}
+
+}  // namespace
+}  // namespace pamr

@@ -1,0 +1,129 @@
+// Unit tests for pamr/power: the P = Pleak + P0·(f·BW)^α model (§3.1) in
+// both continuous and Kim–Horowitz discrete modes (§6).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pamr/power/frequency_table.hpp"
+#include "pamr/power/power_model.hpp"
+
+namespace pamr {
+namespace {
+
+TEST(FrequencyTable, KimHorowitzQuantization) {
+  const FrequencyTable table = FrequencyTable::kim_horowitz();
+  EXPECT_DOUBLE_EQ(table.max_frequency(), 3500.0);
+  EXPECT_EQ(table.quantize(0.0), 0.0);
+  EXPECT_EQ(table.quantize(1.0), 1000.0);
+  EXPECT_EQ(table.quantize(1000.0), 1000.0);
+  EXPECT_EQ(table.quantize(1000.1), 2500.0);
+  EXPECT_EQ(table.quantize(2500.0), 2500.0);
+  EXPECT_EQ(table.quantize(3200.0), 3500.0);
+  EXPECT_EQ(table.quantize(3500.0), 3500.0);
+  EXPECT_FALSE(table.quantize(3500.1).has_value());
+}
+
+TEST(FrequencyTable, SortsAndDeduplicates) {
+  const FrequencyTable table({300.0, 100.0, 300.0, 200.0});
+  EXPECT_EQ(table.frequencies(), (std::vector<double>{100.0, 200.0, 300.0}));
+}
+
+TEST(FrequencyTable, RejectsBadInput) {
+  EXPECT_THROW(FrequencyTable({}), std::logic_error);
+  EXPECT_THROW(FrequencyTable({-1.0, 5.0}), std::logic_error);
+}
+
+TEST(PowerModel, TheoryModeMatchesFigure2Constants) {
+  // Figure 2: Pleak=0, P0=1, α=3, BW=4 — one link at load 4 costs 64.
+  const PowerModel model = PowerModel::theory(3.0, 4.0);
+  EXPECT_DOUBLE_EQ(model.capacity(), 4.0);
+  EXPECT_DOUBLE_EQ(model.link_power(4.0).value(), 64.0);
+  EXPECT_DOUBLE_EQ(model.link_power(1.0).value(), 1.0);
+  EXPECT_DOUBLE_EQ(model.link_power(3.0).value(), 27.0);
+  EXPECT_DOUBLE_EQ(model.link_power(0.0).value(), 0.0);
+  EXPECT_FALSE(model.link_power(4.5).has_value());
+}
+
+TEST(PowerModel, DiscreteQuantizesUpward) {
+  const PowerModel model = PowerModel::paper_discrete();
+  // 600 Mb/s and 1000 Mb/s land on the same 1 Gb/s frequency.
+  EXPECT_DOUBLE_EQ(model.link_power(600.0).value(), model.link_power(1000.0).value());
+  // Expected value: Pleak + P0 · 1^2.95 = 16.9 + 5.41.
+  EXPECT_NEAR(model.link_power(1000.0).value(), 16.9 + 5.41, 1e-9);
+  // Top frequency: 16.9 + 5.41 · 3.5^2.95.
+  EXPECT_NEAR(model.link_power(3500.0).value(),
+              16.9 + 5.41 * std::pow(3.5, 2.95), 1e-9);
+  EXPECT_FALSE(model.link_power(3500.5).has_value());
+}
+
+TEST(PowerModel, IdleLinkBurnsNothing) {
+  const PowerModel model = PowerModel::paper_discrete();
+  EXPECT_DOUBLE_EQ(model.link_power(0.0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(model.link_dynamic_power(0.0).value(), 0.0);
+}
+
+TEST(PowerModel, PaperCapacityCliff) {
+  // §6.2: "as soon as the weight of every communication reaches 1751 Mb/s,
+  // two communications cannot share the same link any more."
+  const PowerModel model = PowerModel::paper_discrete();
+  EXPECT_TRUE(model.feasible(1750.0 * 2));
+  EXPECT_FALSE(model.feasible(1751.0 * 2));
+}
+
+TEST(PowerModel, TotalPowerSumsLinks) {
+  const PowerModel model = PowerModel::theory(3.0, 10.0);
+  const std::vector<double> loads{1.0, 2.0, 0.0, 3.0};
+  EXPECT_DOUBLE_EQ(model.total_power(loads).value(), 1.0 + 8.0 + 27.0);
+}
+
+TEST(PowerModel, TotalPowerFailsOnAnyOverload) {
+  const PowerModel model = PowerModel::theory(3.0, 10.0);
+  const std::vector<double> loads{1.0, 11.0};
+  EXPECT_FALSE(model.total_power(loads).has_value());
+}
+
+TEST(PowerModel, BreakdownSeparatesStaticAndDynamic) {
+  const PowerModel model = PowerModel::paper_discrete();
+  const std::vector<double> loads{900.0, 0.0, 2400.0};
+  const auto breakdown = model.breakdown(loads).value();
+  EXPECT_EQ(breakdown.active_links, 2);
+  EXPECT_NEAR(breakdown.static_part, 2 * 16.9, 1e-9);
+  EXPECT_NEAR(breakdown.dynamic_part,
+              5.41 * (std::pow(1.0, 2.95) + std::pow(2.5, 2.95)), 1e-9);
+  EXPECT_NEAR(breakdown.total, breakdown.static_part + breakdown.dynamic_part, 1e-12);
+}
+
+TEST(PowerModel, DynamicPowerIsMonotoneInLoad) {
+  const PowerModel model = PowerModel::paper_discrete();
+  double previous = -1.0;
+  for (double load = 0.0; load <= 3500.0; load += 12.5) {
+    const double power = model.link_dynamic_power(load).value();
+    EXPECT_GE(power, previous);
+    previous = power;
+  }
+}
+
+TEST(PowerModel, MultiPathBeatsSinglePathDynamically) {
+  // The §1 motivating example: splitting an even load halves each link's
+  // frequency and wins 2^(α-1) dynamically.
+  const PowerModel model = PowerModel::theory(3.0, 100.0);
+  const double together = model.link_dynamic_power(8.0).value() * 2.0;   // 2 links
+  const double split = model.link_dynamic_power(4.0).value() * 4.0;      // 4 links
+  EXPECT_NEAR(together / split, std::pow(2.0, 3.0 - 1.0), 1e-12);
+}
+
+TEST(PowerModel, RejectsBadParameters) {
+  PowerParams params;
+  params.alpha = 0.5;
+  EXPECT_THROW(PowerModel{params}, std::logic_error);
+  PowerParams negative;
+  negative.p0 = -1.0;
+  EXPECT_THROW(PowerModel{negative}, std::logic_error);
+  // Table frequency above the physical bandwidth is inconsistent.
+  PowerParams narrow;
+  narrow.bandwidth = 2000.0;
+  EXPECT_THROW(PowerModel(narrow, FrequencyTable::kim_horowitz()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace pamr

@@ -1,0 +1,159 @@
+// Property-based tests: randomized invariants that must hold for every
+// heuristic on every instance (parameterized over policy × workload shape).
+//
+//  * every constructed routing is structurally valid (Manhattan single
+//    paths with the right endpoints and full weights);
+//  * a result marked valid passes the full bandwidth validation, and a
+//    result marked invalid genuinely overloads some link;
+//  * reported power equals the independently recomputed power;
+//  * BEST's power never exceeds any base policy's.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/routers.hpp"
+
+namespace pamr {
+namespace {
+
+struct WorkloadShape {
+  const char* name;
+  std::int32_t num_comms;
+  double weight_lo;
+  double weight_hi;
+};
+
+constexpr WorkloadShape kShapes[] = {
+    {"sparse_small", 8, 100.0, 1500.0},
+    {"dense_small", 60, 100.0, 1500.0},
+    {"mixed", 25, 100.0, 2500.0},
+    {"heavy", 12, 2500.0, 3500.0},
+};
+
+using Param = std::tuple<RouterKind, int>;  // (policy, shape index)
+
+class HeuristicProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  static constexpr int kRounds = 25;
+  Mesh mesh{8, 8};
+  PowerModel model = PowerModel::paper_discrete();
+
+  CommSet draw(const WorkloadShape& shape, std::uint64_t seed) const {
+    Rng rng(seed);
+    UniformWorkload spec;
+    spec.num_comms = shape.num_comms;
+    spec.weight_lo = shape.weight_lo;
+    spec.weight_hi = shape.weight_hi;
+    return generate_uniform(mesh, spec, rng);
+  }
+};
+
+TEST_P(HeuristicProperty, RoutingInvariantsHold) {
+  const auto [kind, shape_index] = GetParam();
+  const WorkloadShape& shape = kShapes[shape_index];
+  const auto router = make_router(kind);
+  for (int round = 0; round < kRounds; ++round) {
+    const CommSet comms =
+        draw(shape, derive_seed(0xABCDEF, static_cast<std::uint64_t>(shape_index),
+                                static_cast<std::uint64_t>(round)));
+    const RouteResult result = router->route(mesh, comms, model);
+    ASSERT_TRUE(result.routing.has_value());
+
+    // Structure always holds, even for failed (overloaded) routings.
+    const auto structure = validate_structure(mesh, comms, *result.routing, 1);
+    ASSERT_TRUE(structure.ok) << router->name() << ": " << structure.error;
+
+    const LinkLoads loads = loads_of_routing(mesh, *result.routing);
+    const auto breakdown = model.breakdown(loads.values());
+    if (result.valid) {
+      ASSERT_TRUE(breakdown.has_value()) << router->name();
+      EXPECT_NEAR(result.power, breakdown->total, 1e-6 * breakdown->total)
+          << router->name();
+      EXPECT_GT(result.power, 0.0);
+      const auto full = validate_routing(mesh, comms, *result.routing, model, 1);
+      EXPECT_TRUE(full.ok) << full.error;
+    } else {
+      EXPECT_FALSE(breakdown.has_value())
+          << router->name() << " reported failure on a feasible routing";
+    }
+  }
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  return std::string(to_cstring(std::get<0>(info.param))) + "_" +
+         kShapes[std::get<1>(info.param)].name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPoliciesAllShapes, HeuristicProperty,
+    ::testing::Combine(::testing::Values(RouterKind::kXY, RouterKind::kSG,
+                                         RouterKind::kIG, RouterKind::kTB,
+                                         RouterKind::kXYI, RouterKind::kPR),
+                       ::testing::Values(0, 1, 2, 3)),
+    param_name);
+
+class BestDominance : public ::testing::TestWithParam<int> {};
+
+TEST_P(BestDominance, BestNeverWorseThanAnyPolicy) {
+  const WorkloadShape& shape = kShapes[GetParam()];
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  for (int round = 0; round < 10; ++round) {
+    Rng rng(derive_seed(0x5151, static_cast<std::uint64_t>(GetParam()),
+                        static_cast<std::uint64_t>(round)));
+    UniformWorkload spec;
+    spec.num_comms = shape.num_comms;
+    spec.weight_lo = shape.weight_lo;
+    spec.weight_hi = shape.weight_hi;
+    const CommSet comms = generate_uniform(mesh, spec, rng);
+
+    const RouteResult best = BestRouter().route(mesh, comms, model);
+    for (const RouterKind kind : all_base_routers()) {
+      const RouteResult result = make_router(kind)->route(mesh, comms, model);
+      if (result.valid) {
+        ASSERT_TRUE(best.valid) << "BEST missed a solution " << to_cstring(kind)
+                                << " found";
+        EXPECT_LE(best.power, result.power + 1e-9) << to_cstring(kind);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BestDominance, ::testing::Values(0, 1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return std::string(kShapes[param_info.param].name);
+                         });
+
+// §6 hierarchy spot-check: on constrained instances the Manhattan policies
+// must collectively find solutions far more often than XY (the paper's
+// headline "three times more" claim, tested loosely over a fixed sample).
+TEST(SuccessRates, ManhattanBeatsXyOnConstrainedInstances) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  int xy_ok = 0;
+  int best_ok = 0;
+  const int rounds = 40;
+  for (int round = 0; round < rounds; ++round) {
+    Rng rng(derive_seed(0xFEED, 0, static_cast<std::uint64_t>(round)));
+    UniformWorkload spec;
+    spec.num_comms = 60;
+    spec.weight_lo = 100.0;
+    spec.weight_hi = 1500.0;
+    const CommSet comms = generate_uniform(mesh, spec, rng);
+    xy_ok += XYRouter().route(mesh, comms, model).valid ? 1 : 0;
+    best_ok += BestRouter().route(mesh, comms, model).valid ? 1 : 0;
+  }
+  EXPECT_GE(best_ok, xy_ok);
+  EXPECT_GT(best_ok, 0);
+  // At 60 small communications XY has essentially collapsed (paper Fig.
+  // 7(a): XY fails from ~10 on) while the Manhattan portfolio still
+  // succeeds most of the time.
+  EXPECT_LT(xy_ok, rounds / 2);
+  EXPECT_GT(best_ok, rounds / 2);
+}
+
+}  // namespace
+}  // namespace pamr

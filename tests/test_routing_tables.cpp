@@ -1,0 +1,141 @@
+// Tests for the table-based routing artifacts (§1's deployment side):
+// source-route compilation, forwarding-table compilation, table walking and
+// the routing ↔ tables round trip for every heuristic.
+#include <gtest/gtest.h>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/opt/split_router.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/routing/routing_tables.hpp"
+
+namespace pamr {
+namespace {
+
+TEST(SourceRoutes, StepsMatchThePath) {
+  const Mesh mesh(4, 4);
+  const CommSet comms{{{0, 0}, {2, 3}, 500.0}, {{3, 3}, {1, 0}, 700.0}};
+  const Routing routing = make_single_path_routing(
+      comms, {xy_path(mesh, {0, 0}, {2, 3}), yx_path(mesh, {3, 3}, {1, 0})});
+  const auto routes = compile_source_routes(mesh, routing);
+  ASSERT_EQ(routes.size(), 2u);
+  EXPECT_EQ(routes[0].steps,
+            (std::vector<LinkDir>{LinkDir::kEast, LinkDir::kEast, LinkDir::kEast,
+                                  LinkDir::kSouth, LinkDir::kSouth}));
+  EXPECT_EQ(routes[1].steps,
+            (std::vector<LinkDir>{LinkDir::kNorth, LinkDir::kNorth, LinkDir::kWest,
+                                  LinkDir::kWest, LinkDir::kWest}));
+  EXPECT_EQ(routes[0].flow, 0);
+  EXPECT_EQ(routes[1].flow, 1);
+  EXPECT_DOUBLE_EQ(routes[0].weight, 500.0);
+  EXPECT_EQ(routes[1].comm_index, 1);
+}
+
+TEST(ForwardingTables, EntriesCoverEveryHop) {
+  const Mesh mesh(4, 4);
+  const CommSet comms{{{0, 0}, {3, 3}, 500.0}};
+  const Routing routing =
+      make_single_path_routing(comms, {xy_path(mesh, {0, 0}, {3, 3})});
+  const ForwardingTables tables = compile_forwarding_tables(mesh, routing);
+  // 6 hops + 1 delivery entry.
+  EXPECT_EQ(tables.total_entries(), 7u);
+  EXPECT_EQ(tables.per_core[static_cast<std::size_t>(mesh.core_index({0, 0}))]
+                .next_hop.at(0),
+            LinkDir::kEast);
+  const auto& sink_table =
+      tables.per_core[static_cast<std::size_t>(mesh.core_index({3, 3}))];
+  ASSERT_EQ(sink_table.deliver.size(), 1u);
+  EXPECT_EQ(sink_table.deliver[0], 0);
+}
+
+TEST(ForwardingTables, WalkReproducesThePath) {
+  const Mesh mesh(5, 5);
+  const CommSet comms{{{4, 0}, {0, 4}, 900.0}};
+  const Path original = yx_path(mesh, {4, 0}, {0, 4});
+  const Routing routing = make_single_path_routing(comms, {original});
+  const ForwardingTables tables = compile_forwarding_tables(mesh, routing);
+  const Path walked = walk_tables(mesh, tables, 0, {4, 0});
+  EXPECT_EQ(walked, original);
+}
+
+TEST(ForwardingTables, WalkRejectsUnknownFlow) {
+  const Mesh mesh(3, 3);
+  const CommSet comms{{{0, 0}, {2, 2}, 100.0}};
+  const Routing routing =
+      make_single_path_routing(comms, {xy_path(mesh, {0, 0}, {2, 2})});
+  const ForwardingTables tables = compile_forwarding_tables(mesh, routing);
+  EXPECT_THROW((void)walk_tables(mesh, tables, 99, {0, 0}), std::logic_error);
+}
+
+TEST(ForwardingTables, ZeroLengthFlowDeliversAtSource) {
+  const Mesh mesh(3, 3);
+  const CommSet comms{{{1, 1}, {1, 1}, 100.0}};
+  Routing routing;
+  routing.per_comm.resize(1);
+  routing.per_comm[0].flows.push_back(
+      RoutedFlow{Path{{1, 1}, {1, 1}, {}}, 100.0});
+  const ForwardingTables tables = compile_forwarding_tables(mesh, routing);
+  const Path walked = walk_tables(mesh, tables, 0, {1, 1});
+  EXPECT_EQ(walked.length(), 0);
+  EXPECT_EQ(walked.snk, (Coord{1, 1}));
+}
+
+TEST(ForwardingTables, MultiPathFlowsGetSeparateEntries) {
+  const Mesh mesh(2, 2);
+  const CommSet comms{{{0, 0}, {1, 1}, 2000.0}};
+  Routing routing;
+  routing.per_comm.resize(1);
+  routing.per_comm[0].flows.push_back(RoutedFlow{xy_path(mesh, {0, 0}, {1, 1}), 900.0});
+  routing.per_comm[0].flows.push_back(RoutedFlow{yx_path(mesh, {0, 0}, {1, 1}), 1100.0});
+  EXPECT_TRUE(tables_consistent(mesh, routing));
+  const ForwardingTables tables = compile_forwarding_tables(mesh, routing);
+  const auto& origin =
+      tables.per_core[static_cast<std::size_t>(mesh.core_index({0, 0}))];
+  EXPECT_EQ(origin.next_hop.at(0), LinkDir::kEast);
+  EXPECT_EQ(origin.next_hop.at(1), LinkDir::kSouth);
+}
+
+TEST(ForwardingTables, RoundTripForEveryHeuristic) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  Rng rng(0x7AB1E);
+  UniformWorkload spec;
+  spec.num_comms = 35;
+  spec.weight_lo = 100.0;
+  spec.weight_hi = 2000.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  for (const RouterKind kind : all_base_routers()) {
+    const RouteResult result = make_router(kind)->route(mesh, comms, model);
+    ASSERT_TRUE(result.routing.has_value());
+    EXPECT_TRUE(tables_consistent(mesh, *result.routing)) << to_cstring(kind);
+  }
+}
+
+TEST(ForwardingTables, RoundTripForSplitRoutings) {
+  const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
+  Rng rng(0x7AB1F);
+  UniformWorkload spec;
+  spec.num_comms = 15;
+  spec.weight_lo = 1000.0;
+  spec.weight_hi = 3000.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  const SplitRouteResult split = route_split(mesh, comms, model, 3);
+  EXPECT_TRUE(tables_consistent(mesh, split.routing));
+}
+
+TEST(ForwardingTables, DumpMentionsEveryEntry) {
+  const Mesh mesh(3, 3);
+  const CommSet comms{{{0, 0}, {2, 2}, 100.0}};
+  const Routing routing =
+      make_single_path_routing(comms, {xy_path(mesh, {0, 0}, {2, 2})});
+  const ForwardingTables tables = compile_forwarding_tables(mesh, routing);
+  const std::string dump =
+      to_string(mesh, tables.per_core[static_cast<std::size_t>(mesh.core_index({0, 0}))]);
+  EXPECT_NE(dump.find("f0->E"), std::string::npos);
+  const std::string sink_dump =
+      to_string(mesh, tables.per_core[static_cast<std::size_t>(mesh.core_index({2, 2}))]);
+  EXPECT_NE(sink_dump.find("f0->local"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pamr

@@ -1,0 +1,204 @@
+// Tests for the §4 theory constructions: Lemma 1 path counting, the
+// Theorem 1 diffusion pattern (flow conservation + Θ(p) ratio growth), the
+// Lemma 2 instance (Θ(p^{α-1}) ratio) and the Theorem 3 NP-completeness
+// gadget.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "pamr/opt/lower_bound.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/validate.hpp"
+#include "pamr/theory/np_reduction.hpp"
+#include "pamr/theory/path_count.hpp"
+#include "pamr/theory/worst_case.hpp"
+
+namespace pamr {
+namespace {
+
+TEST(Lemma1, RecursionMatchesClosedForm) {
+  const auto table = path_count_table(8, 8);
+  for (std::int32_t u = 0; u < 8; ++u) {
+    for (std::int32_t v = 0; v < 8; ++v) {
+      EXPECT_EQ(table[static_cast<std::size_t>(u)][static_cast<std::size_t>(v)],
+                corner_to_corner_paths(u + 1, v + 1))
+          << u << "," << v;
+    }
+  }
+}
+
+TEST(Lemma1, KnownValues) {
+  EXPECT_EQ(corner_to_corner_paths(1, 1), 1u);
+  EXPECT_EQ(corner_to_corner_paths(2, 2), 2u);
+  EXPECT_EQ(corner_to_corner_paths(3, 3), 6u);
+  EXPECT_EQ(corner_to_corner_paths(8, 8), 3432u);
+  const Mesh mesh(8, 8);
+  EXPECT_EQ(max_mp_split_bound(mesh), 3432u);
+}
+
+TEST(Theorem1, PatternConservesFlowEverywhere) {
+  const PowerModel model = PowerModel::theory(3.0);
+  for (const std::int32_t half : {1, 2, 3, 4}) {
+    const Theorem1Pattern pattern = build_theorem1_pattern(half, 12.0, model);
+    const Mesh mesh(2 * half, 2 * half);
+    // Net outflow must be +K at the source, -K at the sink, 0 elsewhere.
+    std::vector<double> net(static_cast<std::size_t>(mesh.num_cores()), 0.0);
+    for (LinkId link = 0; link < mesh.num_links(); ++link) {
+      const double load = pattern.link_loads[static_cast<std::size_t>(link)];
+      if (load == 0.0) continue;
+      const LinkInfo& info = mesh.link(link);
+      net[static_cast<std::size_t>(mesh.core_index(info.from))] += load;
+      net[static_cast<std::size_t>(mesh.core_index(info.to))] -= load;
+    }
+    for (std::int32_t i = 0; i < mesh.num_cores(); ++i) {
+      const Coord c = mesh.core_coord(i);
+      double expected = 0.0;
+      if (c == Coord{0, 0}) expected = 12.0;
+      if (c == Coord{2 * half - 1, 2 * half - 1}) expected = -12.0;
+      EXPECT_NEAR(net[static_cast<std::size_t>(i)], expected, 1e-9)
+          << "half=" << half << " core " << to_string(c);
+    }
+  }
+}
+
+TEST(Theorem1, EveryLoadedLinkMovesTowardTheSink) {
+  const PowerModel model = PowerModel::theory(3.0);
+  const Theorem1Pattern pattern = build_theorem1_pattern(3, 6.0, model);
+  const Mesh mesh(6, 6);
+  for (LinkId link = 0; link < mesh.num_links(); ++link) {
+    if (pattern.link_loads[static_cast<std::size_t>(link)] == 0.0) continue;
+    const LinkDir dir = mesh.link(link).dir;
+    EXPECT_TRUE(dir == LinkDir::kEast || dir == LinkDir::kSouth);
+  }
+}
+
+TEST(Theorem1, PatternPowerIsBoundedIndependentOfP) {
+  // Proof: (1/2)·P ≤ 2K^α(2 − 1/p') ⇒ P ≤ 8K^α for K = 1. The XY power is
+  // (2p−2)K^α, so the ratio grows linearly in p.
+  const PowerModel model = PowerModel::theory(3.0);
+  double previous_ratio = 0.0;
+  for (const std::int32_t half : {2, 4, 8, 16}) {
+    const Theorem1Pattern pattern = build_theorem1_pattern(half, 1.0, model);
+    EXPECT_LE(pattern.pattern_power, 8.0 + 1e-9) << "half=" << half;
+    EXPECT_GT(pattern.ratio, previous_ratio);
+    previous_ratio = pattern.ratio;
+  }
+  // Θ(p): doubling p' should roughly double the ratio eventually.
+  const double r8 = build_theorem1_pattern(8, 1.0, model).ratio;
+  const double r16 = build_theorem1_pattern(16, 1.0, model).ratio;
+  EXPECT_GT(r16 / r8, 1.6);
+  EXPECT_LT(r16 / r8, 2.4);
+}
+
+TEST(Theorem1, PatternRespectsDiagonalLowerBound) {
+  const PowerModel model = PowerModel::theory(3.0);
+  const Theorem1Pattern pattern = build_theorem1_pattern(4, 5.0, model);
+  const CommSet comms{{{0, 0}, {7, 7}, 5.0}};
+  const Mesh mesh(8, 8);
+  const DiagonalBound bound = diagonal_lower_bound(mesh, comms, model);
+  EXPECT_GE(pattern.pattern_power, bound.total - 1e-9);
+}
+
+TEST(Lemma2, YxRoutingIsValidAndLinkDisjoint) {
+  const PowerModel model = PowerModel::theory(3.0);
+  const Lemma2Instance instance = build_lemma2_instance(5, model);
+  const Mesh mesh(6, 6);
+  EXPECT_TRUE(
+      validate_structure(mesh, instance.comms, instance.yx_routing, 1).ok);
+  // Pairwise link-disjoint: every used link carries exactly weight 1.
+  LinkLoads loads = loads_of_routing(mesh, instance.yx_routing);
+  for (const double load : loads.values()) {
+    EXPECT_TRUE(load == 0.0 || load == 1.0);
+  }
+}
+
+TEST(Lemma2, PowersMatchTheProofFormulas) {
+  const PowerModel model = PowerModel::theory(3.0);
+  for (const std::int32_t p_prime : {2, 4, 8}) {
+    const Lemma2Instance instance = build_lemma2_instance(p_prime, model);
+    // YX: p'² unit-load links (comm i uses p' links at load 1).
+    EXPECT_NEAR(instance.yx_power,
+                static_cast<double>(p_prime) * static_cast<double>(p_prime), 1e-9);
+    // XY: Σ_{m≤p'} m^α + Σ_{m≤p'-1} m^α.
+    double expected_xy = 0.0;
+    for (std::int32_t m = 1; m <= p_prime; ++m) expected_xy += std::pow(m, 3.0);
+    for (std::int32_t m = 1; m < p_prime; ++m) expected_xy += std::pow(m, 3.0);
+    EXPECT_NEAR(instance.xy_power, expected_xy, 1e-9);
+  }
+}
+
+TEST(Lemma2, RatioGrowsAsPToTheAlphaMinusOne) {
+  const PowerModel model = PowerModel::theory(3.0);
+  const double r8 = build_lemma2_instance(8, model).ratio;
+  const double r16 = build_lemma2_instance(16, model).ratio;
+  // α = 3 ⇒ ratio ~ p²: doubling p' should ×4 the ratio, roughly.
+  EXPECT_GT(r16 / r8, 3.0);
+  EXPECT_LT(r16 / r8, 5.0);
+}
+
+TEST(TwoPartition, SolvesClassicInstances) {
+  const auto yes = solve_two_partition({3, 1, 1, 2, 2, 1});  // S = 10
+  ASSERT_TRUE(yes.has_value());
+  std::int64_t sum = 0;
+  const std::vector<std::int64_t> items{3, 1, 1, 2, 2, 1};
+  for (const std::size_t index : *yes) sum += items[index];
+  EXPECT_EQ(sum, 5);
+
+  EXPECT_FALSE(solve_two_partition({1, 1, 4}).has_value());   // even S, no split
+  EXPECT_FALSE(solve_two_partition({1, 2}).has_value());      // odd S
+  EXPECT_TRUE(solve_two_partition({2, 2}).has_value());
+  EXPECT_TRUE(solve_two_partition({6, 1, 1, 2, 2}).has_value());
+}
+
+TEST(NpGadget, DimensionsMatchTheProof) {
+  const NpGadget gadget = build_np_gadget({1, 1, 2, 2}, 3);
+  EXPECT_EQ(gadget.n, 4);
+  EXPECT_EQ(gadget.q, 2 * 4 + 2);  // (s-1)n + 2
+  EXPECT_DOUBLE_EQ(gadget.bandwidth, 3.0 + 8.0);  // S/2 + (s-1)n
+  EXPECT_EQ(gadget.comms.size(), static_cast<std::size_t>(4 + gadget.q));
+  // Traversing weights are a_i + s - 1.
+  EXPECT_DOUBLE_EQ(gadget.comms[0].weight, 1.0 + 2.0);
+  EXPECT_DOUBLE_EQ(gadget.comms[3].weight, 2.0 + 2.0);
+}
+
+TEST(NpGadget, YesCertificateYieldsValidSMpRouting) {
+  for (const std::int32_t s : {2, 3}) {
+    const std::vector<std::int64_t> items{1, 1, 2, 2};
+    const NpGadget gadget = build_np_gadget(items, s);
+    const auto subset = solve_two_partition(items);
+    ASSERT_TRUE(subset.has_value());
+    const Routing routing = certificate_routing(gadget, *subset);
+    const Mesh mesh = gadget.make_mesh();
+    const PowerModel model = gadget.make_model();
+    const auto result = validate_routing(mesh, gadget.comms, routing, model,
+                                         static_cast<std::size_t>(s));
+    EXPECT_TRUE(result.ok) << "s=" << s << ": " << result.error;
+  }
+}
+
+TEST(NpGadget, VerticalLinksAreExactlySaturated) {
+  const std::vector<std::int64_t> items{1, 1, 2, 2};
+  const NpGadget gadget = build_np_gadget(items, 2);
+  const auto subset = solve_two_partition(items);
+  ASSERT_TRUE(subset.has_value());
+  const Routing routing = certificate_routing(gadget, *subset);
+  const Mesh mesh = gadget.make_mesh();
+  const LinkLoads loads = loads_of_routing(mesh, routing);
+  // The proof's counting argument: every southbound link is saturated.
+  for (std::int32_t column = 0; column < gadget.q; ++column) {
+    const LinkId down = mesh.link_from({0, column}, LinkDir::kSouth);
+    ASSERT_NE(down, kInvalidLink);
+    EXPECT_NEAR(loads.load(down), gadget.bandwidth, 1e-9) << "column " << column;
+  }
+}
+
+TEST(NpGadget, RejectsMalformedInputs) {
+  EXPECT_THROW((void)build_np_gadget({}, 2), std::logic_error);
+  EXPECT_THROW((void)build_np_gadget({1, 2}, 2), std::logic_error);   // odd S
+  EXPECT_THROW((void)build_np_gadget({2, 2}, 1), std::logic_error);   // s < 2
+  EXPECT_THROW((void)build_np_gadget({0, 2}, 2), std::logic_error);   // non-positive
+}
+
+}  // namespace
+}  // namespace pamr
