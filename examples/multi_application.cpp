@@ -2,16 +2,17 @@
 // applications (task graphs) are mapped onto one CMP; the system extracts
 // their inter-core communications and routes everything together,
 // comparing the power of XY against the Manhattan portfolio, and showing
-// how much a poor mapping costs.
+// how much a poor mapping costs. The workload is the registry's
+// "multi_app_mix" scenario — one `kind=apps` layer per point, contiguous
+// vs scattered placement.
 //
 //   $ ./build/examples/multi_application [--seed N]
 #include <cstdio>
 
-#include "pamr/comm/task_graph.hpp"
 #include "pamr/routing/routers.hpp"
+#include "pamr/scenario/registry.hpp"
 #include "pamr/util/args.hpp"
 #include "pamr/util/csv.hpp"
-#include "pamr/util/string_util.hpp"
 
 int main(int argc, char** argv) {
   using namespace pamr;
@@ -20,43 +21,30 @@ int main(int argc, char** argv) {
   int exit_code = 0;
   if (!parser.parse(argc, argv, exit_code)) return exit_code;
 
-  const Mesh mesh(8, 8);
-  const PowerModel model = PowerModel::paper_discrete();
+  const scenario::Scenario& mix =
+      scenario::ScenarioRegistry::builtin().at("multi_app_mix");
+  const Mesh mesh = mix.points.front().spec.make_mesh();
+  const PowerModel model = mix.points.front().spec.make_model();
 
-  // Three concurrent applications. (Fork width × bandwidth is kept under
-  // one link capacity: a fork mapped onto a single row leaves its scatter
-  // flows no Manhattan alternative to the first link — straight-line
-  // communications have exactly one shortest path.)
-  const TaskGraph video = TaskGraph::pipeline(8, 1500.0);    // streaming decoder
-  const TaskGraph analytics = TaskGraph::fork_join(4, 600.0);// scatter/gather
-  const TaskGraph physics = TaskGraph::stencil(4, 4, 400.0); // halo exchange
-  std::printf("applications: %s(%d tasks), %s(%d tasks), %s(%d tasks)\n",
-              video.name().c_str(), video.num_tasks(), analytics.name().c_str(),
-              analytics.num_tasks(), physics.name().c_str(), physics.num_tasks());
-
-  // Scenario A: sensible contiguous placement.
-  const std::vector<MappedApplication> placed{
-      {&video, map_row_major(video, mesh, {0, 0})},
-      {&analytics, map_row_major(analytics, mesh, {2, 0})},
-      {&physics, map_row_major(physics, mesh, {4, 0})},
-  };
-  // Scenario B: random scatter (what a naive OS might do).
-  Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
-  const std::vector<MappedApplication> scattered{
-      {&video, map_random(video, mesh, rng)},
-      {&analytics, map_random(analytics, mesh, rng)},
-      {&physics, map_random(physics, mesh, rng)},
-  };
+  std::string applications;
+  for (const scenario::AppSpec& app : mix.points.front().spec.layers.front().apps) {
+    if (!applications.empty()) applications += ", ";
+    applications += app.to_string() + " (" + std::to_string(app.num_tasks()) + " tasks)";
+  }
+  std::printf("applications: %s\n", applications.c_str());
 
   Table table({"scenario", "policy", "valid", "power (mW)", "mean length"});
   table.set_double_precision(2);
-  for (const auto& [label, apps] :
-       {std::pair{"contiguous", &placed}, {"scattered", &scattered}}) {
-    const CommSet comms = extract_communications(*apps);
+  for (const scenario::ScenarioPoint& point : mix.points) {
+    const bool scattered = point.spec.layers.front().placement ==
+                           scenario::WorkloadLayer::Placement::kScattered;
+    Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
+    const CommSet comms = point.spec.generate(mesh, 0.5, rng);
     for (const RouterKind kind :
          {RouterKind::kXY, RouterKind::kXYI, RouterKind::kPR, RouterKind::kBest}) {
       const RouteResult result = make_router(kind)->route(mesh, comms, model);
-      table.add_row({std::string{label}, std::string{to_cstring(kind)},
+      table.add_row({std::string{scattered ? "scattered" : "contiguous"},
+                     std::string{to_cstring(kind)},
                      std::string{result.valid ? "yes" : "NO"},
                      result.valid ? result.power : 0.0, mean_length(comms)});
     }

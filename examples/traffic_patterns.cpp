@@ -1,45 +1,55 @@
 // Classic NoC traffic patterns under XY vs power-aware Manhattan routing.
 // Structured permutations (transpose, bit-complement, ...) are where
-// oblivious XY hurts the most — this example sweeps the per-flow bandwidth
-// and reports the last sustainable intensity and the power gap.
+// oblivious XY hurts the most — this example walks the registry's
+// "permutations" scenario, compares powers at the catalogue intensity, and
+// uses a ramp-envelope variant of each spec to find the last sustainable
+// per-flow bandwidth (the scenario engine's intensity axis doubling as a
+// saturation probe).
 //
 //   $ ./build/examples/traffic_patterns
 #include <cstdio>
 
-#include "pamr/comm/traffic_pattern.hpp"
 #include "pamr/routing/routers.hpp"
+#include "pamr/scenario/registry.hpp"
 #include "pamr/util/csv.hpp"
 
 int main() {
   using namespace pamr;
+  const scenario::Scenario& permutations =
+      scenario::ScenarioRegistry::builtin().at("permutations");
   const Mesh mesh(8, 8);
   const PowerModel model = PowerModel::paper_discrete();
-  Rng rng(77);
 
   Table table({"pattern", "weight (Mb/s)", "XY power", "BEST power", "gain",
                "XY max weight", "BEST max weight"});
   table.set_double_precision(2);
 
-  for (const TrafficPattern pattern : all_traffic_patterns()) {
-    PatternSpec spec;
-    spec.pattern = pattern;
-    spec.hotspot = {3, 4};
+  for (const scenario::ScenarioPoint& point : permutations.points) {
+    const scenario::WorkloadLayer& layer = point.spec.layers.front();
 
-    // Power comparison at a moderate intensity.
-    spec.weight = 700.0;
-    const CommSet comms = generate_pattern(mesh, spec, rng);
+    // Power comparison at the catalogue intensity.
+    Rng rng(77);
+    const CommSet comms = point.spec.generate(mesh, 0.5, rng);
     const RouteResult xy = XYRouter().route(mesh, comms, model);
     const RouteResult best = BestRouter().route(mesh, comms, model);
 
-    // Saturation sweep: largest per-flow weight each policy still routes.
+    // Saturation probe: a unit-weight copy of the spec under a 100..3500
+    // ramp; stepping the envelope position sweeps the per-flow bandwidth.
+    scenario::ScenarioSpec probe_spec = point.spec;
+    probe_spec.layers.front().pattern_weight = 1.0;
+    probe_spec.layers.front().envelope = scenario::IntensityEnvelope::ramp(100.0, 3500.0);
+    const scenario::IntensityEnvelope& ramp = probe_spec.layers.front().envelope;
+    // Endpoint-inclusive sampling: 35 probes over the 100..3500 ramp land
+    // exactly on the round 100 Mb/s grid (scale_at clamps t=1 to the ramp
+    // end).
+    const int steps = 35;
     auto max_weight = [&](auto&& route) {
       double sustained = 0.0;
-      for (double weight = 100.0; weight <= 3500.0; weight += 100.0) {
-        PatternSpec probe = spec;
-        probe.weight = weight;
+      for (int i = 0; i < steps; ++i) {
+        const double t = i / (steps - 1.0);
         Rng probe_rng(77);
-        const CommSet probe_comms = generate_pattern(mesh, probe, probe_rng);
-        if (route(probe_comms)) sustained = weight;
+        const CommSet probe = probe_spec.generate(mesh, t, probe_rng);
+        if (route(probe)) sustained = ramp.scale_at(t);
       }
       return sustained;
     };
@@ -50,15 +60,15 @@ int main() {
       return BestRouter().route(mesh, c, model).valid;
     });
 
-    table.add_row({std::string{to_cstring(pattern)}, spec.weight,
+    table.add_row({std::string{to_cstring(layer.pattern)}, layer.pattern_weight,
                    xy.valid ? xy.power : 0.0, best.valid ? best.power : 0.0,
                    (xy.valid && best.valid) ? xy.power / best.power : 0.0,
                    xy_max, best_max});
   }
   std::printf("%s\n", table.to_text().c_str());
   std::printf(
-      "reading: 'gain' is XY power over BEST power at 700 Mb/s per flow (0 =\n"
-      "policy failed); the max-weight columns show how much further Manhattan\n"
-      "routing pushes each pattern before links saturate.\n");
+      "reading: 'gain' is XY power over BEST power at the catalogue intensity\n"
+      "(0 = policy failed); the max-weight columns show how much further\n"
+      "Manhattan routing pushes each pattern before links saturate.\n");
   return 0;
 }

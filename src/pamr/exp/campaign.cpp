@@ -1,29 +1,17 @@
 #include "pamr/exp/campaign.hpp"
 
 #include <cstdlib>
-#include <mutex>
 
-#include "pamr/exp/instance_runner.hpp"
+#include "pamr/scenario/suite_runner.hpp"
 #include "pamr/util/assert.hpp"
-#include "pamr/util/thread_pool.hpp"
 
 namespace pamr {
 namespace exp {
 
 CommSet WorkloadSpec::generate(const Mesh& mesh, Rng& rng) const {
-  switch (kind) {
-    case Kind::kUniform: {
-      UniformWorkload spec;
-      spec.num_comms = num_comms;
-      spec.weight_lo = weight_lo;
-      spec.weight_hi = weight_hi;
-      return generate_uniform(mesh, spec, rng);
-    }
-    case Kind::kFixedLength:
-      return generate_with_length(mesh, num_comms, weight_lo, weight_hi, length, rng);
-  }
-  PAMR_CHECK(false, "unknown workload kind");
-  return {};
+  // The scenario layer owns workload generation; a campaign workload is a
+  // single flat layer, so t is irrelevant.
+  return scenario::spec_from_workload(*this).generate(mesh, 0.0, rng);
 }
 
 std::int32_t default_trials() noexcept {
@@ -38,21 +26,9 @@ PointAggregate run_point(const Mesh& mesh, const PowerModel& model,
                          const PointSpec& point, const CampaignOptions& options,
                          std::uint64_t point_id) {
   PAMR_CHECK(options.trials >= 1, "need at least one trial");
-  const auto trials = static_cast<std::size_t>(options.trials);
-
-  // Per-thread partial aggregates would need thread identity; instead,
-  // aggregate under a mutex — the aggregation is nanoseconds against
-  // milliseconds of routing per trial.
-  PointAggregate aggregate;
-  std::mutex mutex;
-  parallel_for(trials, [&](std::size_t trial) {
-    Rng rng(derive_seed(options.seed, point_id, trial));
-    const CommSet comms = point.workload.generate(mesh, rng);
-    const InstanceSample sample = run_instance(mesh, comms, model);
-    std::lock_guard<std::mutex> lock(mutex);
-    aggregate.add(sample);
-  });
-  return aggregate;
+  return scenario::run_scenario_point(mesh, model,
+                                      scenario::spec_from_workload(point.workload),
+                                      options.trials, options.seed, point_id);
 }
 
 PanelResult run_panel(const Mesh& mesh, const PowerModel& model,

@@ -19,7 +19,10 @@ namespace pamr {
 namespace exp {
 
 /// Declarative workload description (kept as plain data so campaigns are
-/// reproducible from their printed parameters alone).
+/// reproducible from their printed parameters alone). This is the narrow
+/// paper-campaign view of a scenario: generation and parallel execution
+/// live in pamr::scenario (see scenario/suite_runner.hpp), which this
+/// module delegates to.
 struct WorkloadSpec {
   enum class Kind {
     kUniform,      ///< §6.1/§6.2: random endpoints, U[lo,hi) weights

@@ -1,110 +1,66 @@
 #include "pamr/exp/panels.hpp"
 
-#include <cstdio>
-
-#include "pamr/util/log.hpp"
-#include "pamr/util/timer.hpp"
+#include "pamr/scenario/suite_runner.hpp"
+#include "pamr/util/assert.hpp"
 
 namespace pamr {
 namespace exp {
 
 namespace {
 
-PointSpec uniform_point(double x, std::int32_t num_comms, double lo, double hi) {
-  PointSpec point;
-  point.x = x;
-  point.workload.kind = WorkloadSpec::Kind::kUniform;
-  point.workload.num_comms = num_comms;
-  point.workload.weight_lo = lo;
-  point.workload.weight_hi = hi;
-  return point;
-}
-
-PointSpec length_point(double x, std::int32_t num_comms, double lo, double hi,
-                       std::int32_t length) {
-  PointSpec point;
-  point.x = x;
-  point.workload.kind = WorkloadSpec::Kind::kFixedLength;
-  point.workload.num_comms = num_comms;
-  point.workload.weight_lo = lo;
-  point.workload.weight_hi = hi;
-  point.workload.length = length;
-  return point;
-}
-
-Panel count_sweep(std::string name, double lo, double hi, std::int32_t max_comms,
-                  std::int32_t step) {
+/// The registry owns the figure parameters; a Panel is its campaign view.
+Panel panel_from_scenario(const char* name) {
+  const scenario::Scenario& entry = scenario::ScenarioRegistry::builtin().at(name);
   Panel panel;
-  panel.name = std::move(name);
-  panel.x_label = "num_comms";
-  for (std::int32_t n = step; n <= max_comms; n += step) {
-    panel.points.push_back(uniform_point(static_cast<double>(n), n, lo, hi));
-  }
-  return panel;
-}
-
-Panel weight_sweep(std::string name, std::int32_t num_comms) {
-  Panel panel;
-  panel.name = std::move(name);
-  panel.x_label = "avg_weight";
-  // Constant weights (see header); the interesting region is 100..3500, and
-  // the paper's cliff sits at 1751 = capacity/2 + ε, so sample that region
-  // densely.
-  for (double w : {100.0, 300.0, 500.0, 700.0, 900.0, 1100.0, 1300.0, 1500.0,
-                   1600.0, 1700.0, 1740.0, 1760.0, 1800.0, 1900.0, 2000.0, 2200.0,
-                   2400.0, 2600.0, 2800.0, 3000.0, 3200.0, 3400.0}) {
-    // A zero-width uniform range is degenerate; use ±1 Mb/s around w.
-    panel.points.push_back(uniform_point(w, num_comms, w - 1.0, w + 1.0));
-  }
-  return panel;
-}
-
-Panel length_sweep(std::string name, std::int32_t num_comms, double lo, double hi) {
-  Panel panel;
-  panel.name = std::move(name);
-  panel.x_label = "avg_length";
-  for (std::int32_t length = 2; length <= 14; ++length) {
+  panel.name = entry.name;
+  panel.x_label = entry.x_label;
+  panel.points.reserve(entry.points.size());
+  for (const scenario::ScenarioPoint& point : entry.points) {
     panel.points.push_back(
-        length_point(static_cast<double>(length), num_comms, lo, hi, length));
+        PointSpec{point.x, scenario::workload_from_spec(point.spec)});
   }
   return panel;
+}
+
+scenario::Scenario scenario_from_panel(const Panel& panel) {
+  scenario::Scenario entry;
+  entry.name = panel.name;
+  entry.x_label = panel.x_label;
+  entry.points.reserve(panel.points.size());
+  for (const PointSpec& point : panel.points) {
+    entry.points.push_back(
+        scenario::ScenarioPoint{point.x, scenario::spec_from_workload(point.workload)});
+  }
+  return entry;
 }
 
 }  // namespace
 
 std::vector<Panel> figure7_panels() {
-  return {count_sweep("fig7a_small", 100.0, 1500.0, 140, 10),
-          count_sweep("fig7b_mixed", 100.0, 2500.0, 70, 5),
-          count_sweep("fig7c_big", 2500.0, 3500.0, 30, 2)};
+  return {panel_from_scenario("fig7a_small"), panel_from_scenario("fig7b_mixed"),
+          panel_from_scenario("fig7c_big")};
 }
 
 std::vector<Panel> figure8_panels() {
-  return {weight_sweep("fig8a_few_10comms", 10), weight_sweep("fig8b_some_20comms", 20),
-          weight_sweep("fig8c_numerous_40comms", 40)};
+  return {panel_from_scenario("fig8a_few_10comms"),
+          panel_from_scenario("fig8b_some_20comms"),
+          panel_from_scenario("fig8c_numerous_40comms")};
 }
 
 std::vector<Panel> figure9_panels() {
-  return {length_sweep("fig9a_numerous_small", 100, 200.0, 800.0),
-          length_sweep("fig9b_some_mixed", 25, 100.0, 3500.0),
-          length_sweep("fig9c_few_big", 12, 2700.0, 3300.0)};
+  return {panel_from_scenario("fig9a_numerous_small"),
+          panel_from_scenario("fig9b_some_mixed"),
+          panel_from_scenario("fig9c_few_big")};
 }
 
 namespace {
 
 Table series_table(const Panel& panel, const PanelResult& result,
-                   double (*extract)(const PointAggregate&, std::size_t)) {
-  std::vector<std::string> header{panel.x_label};
-  for (std::size_t s = 0; s < kNumSeries; ++s) header.emplace_back(series_name(s));
-  Table table(std::move(header));
-  for (std::size_t i = 0; i < result.points.size(); ++i) {
-    std::vector<Cell> row;
-    row.emplace_back(result.xs[i]);
-    for (std::size_t s = 0; s < kNumSeries; ++s) {
-      row.emplace_back(extract(result.points[i], s));
-    }
-    table.add_row(std::move(row));
-  }
-  return table;
+                   scenario::SeriesExtractor extract) {
+  std::vector<const PointAggregate*> points;
+  points.reserve(result.points.size());
+  for (const PointAggregate& point : result.points) points.push_back(&point);
+  return scenario::series_table(panel.x_label, result.xs, points, extract);
 }
 
 }  // namespace
@@ -123,24 +79,10 @@ Table failure_ratio_table(const Panel& panel, const PanelResult& result) {
 
 void run_and_report_panel(const Panel& panel, const CampaignOptions& options,
                           bool write_csv) {
-  const Mesh mesh(8, 8);
-  const PowerModel model = PowerModel::paper_discrete();
-  const WallTimer timer;
-  const PanelResult result = run_panel(mesh, model, panel.points, options);
-
-  std::printf("== %s (%d trials/point, %.1fs) ==\n", panel.name.c_str(),
-              options.trials, timer.elapsed_seconds());
-  std::printf("-- normalized power inverse (1/P over 1/P_BEST; 0 = failure) --\n%s",
-              normalized_inverse_table(panel, result).to_text().c_str());
-  std::printf("-- failure ratio --\n%s\n",
-              failure_ratio_table(panel, result).to_text().c_str());
-
-  if (write_csv) {
-    const std::string base = output_directory() + "/" + panel.name;
-    (void)normalized_inverse_table(panel, result).write_csv(base + "_norm_inv_power.csv");
-    (void)failure_ratio_table(panel, result).write_csv(base + "_failure_ratio.csv");
-    PAMR_LOG_INFO("wrote " + base + "_{norm_inv_power,failure_ratio}.csv");
-  }
+  scenario::SuiteOptions suite_options;
+  suite_options.instances = options.trials;
+  suite_options.seed = options.seed;
+  scenario::run_and_report(scenario_from_panel(panel), suite_options, write_csv);
 }
 
 }  // namespace exp

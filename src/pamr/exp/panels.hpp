@@ -1,6 +1,8 @@
-// The nine figure panels of §6, as declarative point sweeps, plus the
-// rendering helpers the bench binaries share. Parameters follow the paper:
-// 8×8 CMP, Kim–Horowitz discrete links, weights in Mb/s.
+// The nine figure panels of §6 as declarative point sweeps, derived from
+// the scenario registry (scenario/registry.cpp is the single source of
+// truth for the parameters), plus the rendering helpers the bench binaries
+// share. Parameters follow the paper: 8×8 CMP, Kim–Horowitz discrete
+// links, weights in Mb/s.
 //
 //  Figure 7 — sensitivity to the number of communications:
 //    (a) small  U[100, 1500),  nc = 0..140

@@ -1,0 +1,69 @@
+// Multi-phase intensity envelopes for scenario workload layers.
+//
+// A routed instance is a static snapshot, so "time" here is the position of
+// an instance inside a suite run: instance i of N sits at t = (i+0.5)/N in
+// [0, 1), and the envelope maps t to a weight multiplier. This turns a
+// suite's instance axis into an intensity axis — ramps sweep a layer from
+// idle to saturation, bursts model on/off traffic storms — without any new
+// generator code: every layer just scales its drawn weights.
+//
+// An envelope is a sequence of phases occupying equal shares of [0, 1):
+//   const:s          constant multiplier s
+//   ramp:a:b         linear from a (phase start) to b (phase end)
+//   burst:base:peak:duty   peak for the first `duty` fraction, base after
+//
+// Text form: phases joined by '/', e.g. "ramp:1:3/burst:1:4:0.25". The
+// empty envelope is the flat multiplier 1 and prints as "".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pamr {
+namespace scenario {
+
+struct EnvelopePhase {
+  enum class Kind { kConst, kRamp, kBurst };
+  Kind kind = Kind::kConst;
+  double a = 1.0;     ///< const: the scale; ramp: start; burst: base
+  double b = 1.0;     ///< ramp: end; burst: peak
+  double duty = 0.5;  ///< burst only, fraction of the phase spent at peak
+
+  friend bool operator==(const EnvelopePhase&, const EnvelopePhase&) = default;
+};
+
+class IntensityEnvelope {
+ public:
+  IntensityEnvelope() = default;
+  explicit IntensityEnvelope(std::vector<EnvelopePhase> phases);
+
+  [[nodiscard]] bool flat() const noexcept { return phases_.empty(); }
+  [[nodiscard]] const std::vector<EnvelopePhase>& phases() const noexcept {
+    return phases_;
+  }
+
+  /// Weight multiplier at position t; t is clamped to [0, 1).
+  [[nodiscard]] double scale_at(double t) const noexcept;
+
+  /// Canonical text form (parse round-trips it); "" for the flat envelope.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the text form. On failure returns false and sets `error`
+  /// (leaving `out` untouched); "" parses to the flat envelope.
+  [[nodiscard]] static bool parse(std::string_view text, IntensityEnvelope& out,
+                                  std::string& error);
+
+  friend bool operator==(const IntensityEnvelope&, const IntensityEnvelope&) = default;
+
+  // -- Convenience constructors used by the registry ----------------------
+  [[nodiscard]] static IntensityEnvelope constant(double scale);
+  [[nodiscard]] static IntensityEnvelope ramp(double from, double to);
+  [[nodiscard]] static IntensityEnvelope burst(double base, double peak, double duty);
+
+ private:
+  std::vector<EnvelopePhase> phases_;  ///< empty means flat 1.0
+};
+
+}  // namespace scenario
+}  // namespace pamr

@@ -1,0 +1,278 @@
+#include "pamr/scenario/registry.hpp"
+
+#include <utility>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+namespace scenario {
+
+namespace {
+
+WorkloadLayer uniform_layer(std::int32_t n, double lo, double hi) {
+  WorkloadLayer layer;
+  layer.kind = WorkloadLayer::Kind::kUniform;
+  layer.num_comms = n;
+  layer.weight_lo = lo;
+  layer.weight_hi = hi;
+  return layer;
+}
+
+WorkloadLayer length_layer(std::int32_t n, double lo, double hi, std::int32_t length) {
+  WorkloadLayer layer;
+  layer.kind = WorkloadLayer::Kind::kFixedLength;
+  layer.num_comms = n;
+  layer.weight_lo = lo;
+  layer.weight_hi = hi;
+  layer.length = length;
+  return layer;
+}
+
+WorkloadLayer pattern_layer(TrafficPattern pattern, double weight, double jitter = 0.0) {
+  WorkloadLayer layer;
+  layer.kind = WorkloadLayer::Kind::kPattern;
+  layer.pattern = pattern;
+  layer.pattern_weight = weight;
+  layer.jitter = jitter;
+  // Non-hotspot patterns ignore the coordinate; leaving it defaulted keeps
+  // the text form round-trippable (to_string omits it for them).
+  if (pattern == TrafficPattern::kHotspot) layer.hotspot = {3, 4};
+  return layer;
+}
+
+ScenarioSpec single_layer_spec(WorkloadLayer layer) {
+  ScenarioSpec spec;
+  spec.layers.push_back(std::move(layer));
+  return spec;
+}
+
+// -- Paper figure sweeps (§6; parameters mirrored by exp::panels) ----------
+
+Scenario count_sweep(std::string name, std::string description, double lo, double hi,
+                     std::int32_t max_comms, std::int32_t step) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.description = std::move(description);
+  scenario.x_label = "num_comms";
+  scenario.default_seed = 7;
+  for (std::int32_t n = step; n <= max_comms; n += step) {
+    scenario.points.push_back(
+        {static_cast<double>(n), single_layer_spec(uniform_layer(n, lo, hi))});
+  }
+  return scenario;
+}
+
+Scenario weight_sweep(std::string name, std::string description,
+                      std::int32_t num_comms) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.description = std::move(description);
+  scenario.x_label = "avg_weight";
+  scenario.default_seed = 8;
+  // Constant weights; the paper's cliff sits at 1751 = capacity/2 + ε, so
+  // sample that region densely (see exp/panels.hpp for the derivation).
+  for (double w : {100.0, 300.0, 500.0, 700.0, 900.0, 1100.0, 1300.0, 1500.0,
+                   1600.0, 1700.0, 1740.0, 1760.0, 1800.0, 1900.0, 2000.0, 2200.0,
+                   2400.0, 2600.0, 2800.0, 3000.0, 3200.0, 3400.0}) {
+    // A zero-width uniform range is degenerate; use ±1 Mb/s around w.
+    scenario.points.push_back(
+        {w, single_layer_spec(uniform_layer(num_comms, w - 1.0, w + 1.0))});
+  }
+  return scenario;
+}
+
+Scenario length_sweep(std::string name, std::string description, std::int32_t num_comms,
+                      double lo, double hi) {
+  Scenario scenario;
+  scenario.name = std::move(name);
+  scenario.description = std::move(description);
+  scenario.x_label = "avg_length";
+  scenario.default_seed = 9;
+  for (std::int32_t length = 2; length <= 14; ++length) {
+    scenario.points.push_back({static_cast<double>(length),
+                               single_layer_spec(length_layer(num_comms, lo, hi, length))});
+  }
+  return scenario;
+}
+
+// -- Structured suites beyond the paper ------------------------------------
+
+Scenario permutation_sweep() {
+  Scenario scenario;
+  scenario.name = "permutations";
+  scenario.description = "classic NoC permutation patterns at 700 Mb/s per flow";
+  scenario.x_label = "pattern";
+  const std::vector<TrafficPattern> patterns = all_traffic_patterns();
+  for (std::size_t i = 0; i < patterns.size(); ++i) {
+    scenario.points.push_back(
+        {static_cast<double>(i), single_layer_spec(pattern_layer(patterns[i], 700.0))});
+  }
+  return scenario;
+}
+
+Scenario transpose_ramp() {
+  Scenario scenario;
+  scenario.name = "transpose_ramp";
+  scenario.description =
+      "transpose permutation ramped 100..3500 Mb/s over the instance axis";
+  scenario.x_label = "instance_t";
+  WorkloadLayer layer = pattern_layer(TrafficPattern::kTranspose, 1.0);
+  layer.envelope = IntensityEnvelope::ramp(100.0, 3500.0);
+  scenario.points.push_back({0.0, single_layer_spec(std::move(layer))});
+  return scenario;
+}
+
+Scenario hotspot_storm() {
+  Scenario scenario;
+  scenario.name = "hotspot_storm";
+  scenario.description =
+      "random senders converging on 1..4 hotspots under a 2x burst envelope";
+  scenario.x_label = "num_hotspots";
+  // 24 senders at ~300 Mb/s mean keep one hotspot's in-links (≤ 4 × 3500)
+  // just feasible off-peak; the 2x burst tips single-spot storms over.
+  for (std::int32_t spots = 1; spots <= 4; ++spots) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayer::Kind::kHotspots;
+    layer.num_hotspots = spots;
+    layer.num_comms = 24;
+    layer.weight_lo = 100.0;
+    layer.weight_hi = 500.0;
+    layer.envelope = IntensityEnvelope::burst(1.0, 2.0, 0.25);
+    scenario.points.push_back(
+        {static_cast<double>(spots), single_layer_spec(std::move(layer))});
+  }
+  return scenario;
+}
+
+Scenario multi_app_mix() {
+  Scenario scenario;
+  scenario.name = "multi_app_mix";
+  scenario.description =
+      "video pipeline + fork/join analytics + stencil physics; contiguous vs scattered";
+  scenario.x_label = "scattered";
+  for (const auto placement : {WorkloadLayer::Placement::kContiguous,
+                               WorkloadLayer::Placement::kScattered}) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayer::Kind::kApps;
+    layer.apps = {
+        AppSpec{AppSpec::Shape::kPipeline, 8, 1, 1500.0},   // streaming decoder
+        AppSpec{AppSpec::Shape::kForkJoin, 4, 1, 600.0},    // scatter/gather
+        AppSpec{AppSpec::Shape::kStencil, 4, 4, 400.0},     // halo exchange
+    };
+    layer.placement = placement;
+    scenario.points.push_back(
+        {placement == WorkloadLayer::Placement::kScattered ? 1.0 : 0.0,
+         single_layer_spec(std::move(layer))});
+  }
+  return scenario;
+}
+
+Scenario mixed_background() {
+  Scenario scenario;
+  scenario.name = "mixed_background";
+  scenario.description =
+      "transpose permutation over a ramped uniform background (layer composition)";
+  scenario.x_label = "background_comms";
+  for (const std::int32_t n : {10, 20, 30, 40}) {
+    ScenarioSpec spec;
+    WorkloadLayer background = uniform_layer(n, 100.0, 900.0);
+    background.envelope = IntensityEnvelope::ramp(0.5, 2.0);
+    spec.layers.push_back(std::move(background));
+    spec.layers.push_back(pattern_layer(TrafficPattern::kTranspose, 500.0));
+    scenario.points.push_back({static_cast<double>(n), std::move(spec)});
+  }
+  return scenario;
+}
+
+Scenario uniform_burst() {
+  Scenario scenario;
+  scenario.name = "uniform_burst";
+  scenario.description =
+      "40 uniform flows with a half-duty 3x burst (failure ratio under storms)";
+  scenario.x_label = "instance_t";
+  WorkloadLayer layer = uniform_layer(40, 100.0, 1500.0);
+  layer.envelope = IntensityEnvelope::burst(1.0, 3.0, 0.5);
+  scenario.points.push_back({0.0, single_layer_spec(std::move(layer))});
+  return scenario;
+}
+
+Scenario ablation_length_mix() {
+  Scenario scenario;
+  scenario.name = "ablation_length_mix";
+  scenario.description =
+      "fixed-length short + long flows routed together (§6.3 ablation)";
+  scenario.x_label = "long_length";
+  for (std::int32_t length = 8; length <= 14; length += 2) {
+    ScenarioSpec spec;
+    spec.layers.push_back(length_layer(30, 200.0, 800.0, 2));
+    spec.layers.push_back(length_layer(15, 200.0, 800.0, length));
+    scenario.points.push_back({static_cast<double>(length), std::move(spec)});
+  }
+  return scenario;
+}
+
+}  // namespace
+
+const ScenarioRegistry& ScenarioRegistry::builtin() {
+  static const ScenarioRegistry registry = [] {
+    ScenarioRegistry built;
+    // Figure 7 — sensitivity to the number of communications (§6.1).
+    built.add(count_sweep("fig7a_small", "fig 7a: small comms U[100,1500), nc=10..140",
+                          100.0, 1500.0, 140, 10));
+    built.add(count_sweep("fig7b_mixed", "fig 7b: mixed comms U[100,2500), nc=5..70",
+                          100.0, 2500.0, 70, 5));
+    built.add(count_sweep("fig7c_big", "fig 7c: big comms U[2500,3500), nc=2..30",
+                          2500.0, 3500.0, 30, 2));
+    // Figure 8 — sensitivity to the size of communications (§6.2).
+    built.add(weight_sweep("fig8a_few_10comms", "fig 8a: 10 comms, weight swept 100..3400",
+                           10));
+    built.add(weight_sweep("fig8b_some_20comms",
+                           "fig 8b: 20 comms, weight swept 100..3400", 20));
+    built.add(weight_sweep("fig8c_numerous_40comms",
+                           "fig 8c: 40 comms, weight swept 100..3400", 40));
+    // Figure 9 — sensitivity to the Manhattan length (§6.3).
+    built.add(length_sweep("fig9a_numerous_small",
+                           "fig 9a: 100 comms U[200,800), length 2..14", 100, 200.0,
+                           800.0));
+    built.add(length_sweep("fig9b_some_mixed",
+                           "fig 9b: 25 comms U[100,3500), length 2..14", 25, 100.0,
+                           3500.0));
+    built.add(length_sweep("fig9c_few_big", "fig 9c: 12 comms U[2700,3300), length 2..14",
+                           12, 2700.0, 3300.0));
+    // Structured suites beyond the paper.
+    built.add(permutation_sweep());
+    built.add(transpose_ramp());
+    built.add(hotspot_storm());
+    built.add(multi_app_mix());
+    built.add(mixed_background());
+    built.add(uniform_burst());
+    built.add(ablation_length_mix());
+    return built;
+  }();
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  PAMR_CHECK(!scenario.name.empty(), "scenario needs a name");
+  PAMR_CHECK(find(scenario.name) == nullptr,
+             "duplicate scenario '" + scenario.name + "'");
+  PAMR_CHECK(!scenario.points.empty(),
+             "scenario '" + scenario.name + "' has no points");
+  scenarios_.push_back(std::move(scenario));
+}
+
+const Scenario* ScenarioRegistry::find(std::string_view name) const noexcept {
+  for (const Scenario& scenario : scenarios_) {
+    if (scenario.name == name) return &scenario;
+  }
+  return nullptr;
+}
+
+const Scenario& ScenarioRegistry::at(std::string_view name) const {
+  const Scenario* scenario = find(name);
+  PAMR_CHECK(scenario != nullptr, "unknown scenario '" + std::string(name) + "'");
+  return *scenario;
+}
+
+}  // namespace scenario
+}  // namespace pamr

@@ -1,0 +1,532 @@
+#include "pamr/scenario/scenario_spec.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/util/assert.hpp"
+#include "pamr/util/string_util.hpp"
+
+namespace pamr {
+namespace scenario {
+
+// ---------------------------------------------------------------- AppSpec --
+
+TaskGraph AppSpec::build() const {
+  switch (shape) {
+    case Shape::kPipeline: return TaskGraph::pipeline(a, bandwidth);
+    case Shape::kForkJoin: return TaskGraph::fork_join(a, bandwidth);
+    case Shape::kStencil: return TaskGraph::stencil(a, b, bandwidth);
+  }
+  PAMR_CHECK(false, "unknown application shape");
+  return TaskGraph{};
+}
+
+std::int32_t AppSpec::num_tasks() const noexcept {
+  switch (shape) {
+    case Shape::kPipeline: return a;
+    case Shape::kForkJoin: return a + 2;  // source + workers + sink
+    case Shape::kStencil: return a * b;
+  }
+  return 0;  // unreachable
+}
+
+std::string AppSpec::to_string() const {
+  switch (shape) {
+    case Shape::kPipeline:
+      return "pipeline:" + std::to_string(a) + ":" + format_compact(bandwidth);
+    case Shape::kForkJoin:
+      return "forkjoin:" + std::to_string(a) + ":" + format_compact(bandwidth);
+    case Shape::kStencil:
+      return "stencil:" + std::to_string(a) + ":" + std::to_string(b) + ":" +
+             format_compact(bandwidth);
+  }
+  return "?";  // unreachable
+}
+
+namespace {
+
+/// Narrowing integer parse with explicit bounds — out-of-range input is a
+/// parse error, never a silent truncation to 32 bits.
+bool parse_i32(const std::string& text, std::int32_t lo, std::int32_t hi,
+               std::int32_t& out) {
+  std::int64_t parsed = 0;
+  if (!parse_int64(text, parsed) || parsed < lo || parsed > hi) return false;
+  out = static_cast<std::int32_t>(parsed);
+  return true;
+}
+
+/// Finite positive-weight parse: rejects nan/inf as well as <= 0 (NaN
+/// slips through naive `value <= 0` guards — every comparison is false).
+bool parse_positive(const std::string& text, double& out) {
+  double parsed = 0.0;
+  if (!parse_double(text, parsed) || !std::isfinite(parsed) || !(parsed > 0.0)) {
+    return false;
+  }
+  out = parsed;
+  return true;
+}
+
+// Generous sanity ceilings: far above anything a CMP scenario means, low
+// enough that derived quantities (p*q, stencil w*h) cannot overflow.
+constexpr std::int32_t kMaxMeshDim = 1024;
+constexpr std::int32_t kMaxComms = 1'000'000;
+constexpr std::int32_t kMaxAppDim = 4096;
+
+bool parse_app(std::string_view text, AppSpec& out, std::string& error) {
+  const std::vector<std::string> fields = split(text, ':');
+  AppSpec app;
+  bool ok = false;
+  if (fields.size() == 3 && (fields[0] == "pipeline" || fields[0] == "forkjoin")) {
+    app.shape =
+        fields[0] == "pipeline" ? AppSpec::Shape::kPipeline : AppSpec::Shape::kForkJoin;
+    ok = parse_i32(fields[1], 1, kMaxAppDim, app.a) &&
+         parse_positive(fields[2], app.bandwidth);
+  } else if (fields.size() == 4 && fields[0] == "stencil") {
+    app.shape = AppSpec::Shape::kStencil;
+    ok = parse_i32(fields[1], 1, kMaxAppDim, app.a) &&
+         parse_i32(fields[2], 1, kMaxAppDim, app.b) &&
+         parse_positive(fields[3], app.bandwidth);
+  }
+  if (!ok) {
+    error = "bad application '" + std::string(text) +
+            "' (want pipeline:<n>:<bw>, forkjoin:<n>:<bw> or stencil:<w>:<h>:<bw>)";
+    return false;
+  }
+  out = app;
+  return true;
+}
+
+TrafficPattern* find_pattern(std::string_view name, TrafficPattern& storage) {
+  for (const TrafficPattern pattern : all_traffic_patterns()) {
+    if (name == to_cstring(pattern)) {
+      storage = pattern;
+      return &storage;
+    }
+  }
+  return nullptr;
+}
+
+/// Multiplies every weight by `scale` — applied *after* the base draw so a
+/// flat envelope (scale == 1) leaves the generator's stream and weights
+/// bit-identical to a direct call.
+void scale_weights(CommSet& comms, double scale) {
+  if (scale == 1.0) return;
+  for (Communication& comm : comms) comm.weight *= scale;
+}
+
+CommSet generate_hotspot_storm(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
+  PAMR_CHECK(layer.num_hotspots >= 1, "need at least one hotspot");
+  PAMR_CHECK(layer.num_hotspots < mesh.num_cores(),
+             "hotspot set must leave at least one sender core");
+  // Draw the hotspot set (distinct cores) by partial Fisher–Yates.
+  std::vector<std::int32_t> cores(static_cast<std::size_t>(mesh.num_cores()));
+  for (std::size_t i = 0; i < cores.size(); ++i) cores[i] = static_cast<std::int32_t>(i);
+  std::vector<Coord> spots;
+  spots.reserve(static_cast<std::size_t>(layer.num_hotspots));
+  for (std::int32_t s = 0; s < layer.num_hotspots; ++s) {
+    const std::size_t remaining = cores.size() - static_cast<std::size_t>(s);
+    const std::size_t pick = static_cast<std::size_t>(s) + rng.below(remaining);
+    std::swap(cores[static_cast<std::size_t>(s)], cores[pick]);
+    spots.push_back(mesh.core_coord(cores[static_cast<std::size_t>(s)]));
+  }
+  // Senders converge on a uniformly chosen hotspot each.
+  CommSet comms;
+  comms.reserve(static_cast<std::size_t>(layer.num_comms));
+  for (std::int32_t i = 0; i < layer.num_comms; ++i) {
+    const Coord snk = spots[rng.below(spots.size())];
+    Coord src = snk;
+    while (src == snk) {
+      src = mesh.core_coord(
+          static_cast<std::int32_t>(rng.below(static_cast<std::uint64_t>(mesh.num_cores()))));
+    }
+    comms.push_back(Communication{src, snk, rng.uniform(layer.weight_lo, layer.weight_hi)});
+  }
+  return comms;
+}
+
+CommSet generate_apps(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
+  PAMR_CHECK(!layer.apps.empty(), "apps layer needs at least one application");
+  std::vector<TaskGraph> graphs;
+  graphs.reserve(layer.apps.size());
+  std::int32_t total_tasks = 0;
+  for (const AppSpec& app : layer.apps) {
+    graphs.push_back(app.build());
+    total_tasks += app.num_tasks();
+  }
+  PAMR_CHECK(total_tasks <= mesh.num_cores(), "applications do not fit the mesh");
+
+  std::vector<MappedApplication> mapped;
+  mapped.reserve(graphs.size());
+  std::int32_t placed = 0;
+  for (const TaskGraph& graph : graphs) {
+    Mapping mapping;
+    switch (layer.placement) {
+      case WorkloadLayer::Placement::kContiguous:
+        mapping = map_row_major(graph, mesh, mesh.core_coord(placed));
+        break;
+      case WorkloadLayer::Placement::kScattered:
+        mapping = map_random(graph, mesh, rng);
+        break;
+    }
+    placed += graph.num_tasks();
+    mapped.push_back(MappedApplication{&graph, std::move(mapping)});
+  }
+  return extract_communications(mapped);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------- WorkloadLayer --
+
+CommSet WorkloadLayer::generate(const Mesh& mesh, double t, Rng& rng) const {
+  CommSet comms;
+  switch (kind) {
+    case Kind::kUniform: {
+      UniformWorkload spec;
+      spec.num_comms = num_comms;
+      spec.weight_lo = weight_lo;
+      spec.weight_hi = weight_hi;
+      comms = generate_uniform(mesh, spec, rng);
+      break;
+    }
+    case Kind::kFixedLength:
+      comms = generate_with_length(mesh, num_comms, weight_lo, weight_hi, length, rng);
+      break;
+    case Kind::kPattern: {
+      PatternSpec spec;
+      spec.pattern = pattern;
+      spec.weight = pattern_weight;
+      spec.weight_jitter = jitter;
+      spec.hotspot = hotspot;
+      comms = generate_pattern(mesh, spec, rng);
+      break;
+    }
+    case Kind::kHotspots:
+      comms = generate_hotspot_storm(mesh, *this, rng);
+      break;
+    case Kind::kApps:
+      comms = generate_apps(mesh, *this, rng);
+      break;
+  }
+  scale_weights(comms, envelope.scale_at(t));
+  return comms;
+}
+
+// ----------------------------------------------------------- ScenarioSpec --
+
+PowerModel ScenarioSpec::make_model() const {
+  switch (model) {
+    case ModelKind::kDiscrete: return PowerModel::paper_discrete();
+    case ModelKind::kTheory: return PowerModel::theory();
+  }
+  PAMR_CHECK(false, "unknown model kind");
+  return PowerModel::paper_discrete();
+}
+
+CommSet ScenarioSpec::generate(const Mesh& mesh, double t, Rng& rng) const {
+  CommSet comms;
+  for (const WorkloadLayer& layer : layers) {
+    CommSet drawn = layer.generate(mesh, t, rng);
+    comms.insert(comms.end(), drawn.begin(), drawn.end());
+  }
+  return comms;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::string out = "mesh=" + std::to_string(mesh_p) + "x" + std::to_string(mesh_q) +
+                    " model=" + (model == ModelKind::kDiscrete ? "discrete" : "theory");
+  for (const WorkloadLayer& layer : layers) {
+    out += " ;";
+    switch (layer.kind) {
+      case WorkloadLayer::Kind::kUniform:
+        out += " kind=uniform n=" + std::to_string(layer.num_comms) +
+               " lo=" + format_compact(layer.weight_lo) +
+               " hi=" + format_compact(layer.weight_hi);
+        break;
+      case WorkloadLayer::Kind::kFixedLength:
+        out += " kind=length n=" + std::to_string(layer.num_comms) +
+               " lo=" + format_compact(layer.weight_lo) +
+               " hi=" + format_compact(layer.weight_hi) +
+               " len=" + std::to_string(layer.length);
+        break;
+      case WorkloadLayer::Kind::kPattern:
+        out += " kind=pattern pattern=" + std::string(to_cstring(layer.pattern)) +
+               " weight=" + format_compact(layer.pattern_weight);
+        if (layer.jitter != 0.0) out += " jitter=" + format_compact(layer.jitter);
+        if (layer.pattern == TrafficPattern::kHotspot) {
+          out += " hotspot=" + std::to_string(layer.hotspot.u) + "," +
+                 std::to_string(layer.hotspot.v);
+        }
+        break;
+      case WorkloadLayer::Kind::kHotspots:
+        out += " kind=hotspots spots=" + std::to_string(layer.num_hotspots) +
+               " n=" + std::to_string(layer.num_comms) +
+               " lo=" + format_compact(layer.weight_lo) +
+               " hi=" + format_compact(layer.weight_hi);
+        break;
+      case WorkloadLayer::Kind::kApps: {
+        out += " kind=apps apps=";
+        for (std::size_t i = 0; i < layer.apps.size(); ++i) {
+          if (i > 0) out += '+';
+          out += layer.apps[i].to_string();
+        }
+        out += " place=";
+        out += layer.placement == WorkloadLayer::Placement::kContiguous ? "contiguous"
+                                                                        : "scattered";
+        break;
+      }
+    }
+    if (!layer.envelope.flat()) out += " envelope=" + layer.envelope.to_string();
+  }
+  return out;
+}
+
+namespace {
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+};
+
+bool tokenize_section(std::string_view section, std::vector<KeyValue>& out,
+                      std::string& error) {
+  for (const std::string& raw : split(section, ' ')) {
+    const std::string_view token = trim(raw);
+    if (token.empty()) continue;
+    const auto eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      error = "expected key=value, got '" + std::string(token) + "'";
+      return false;
+    }
+    out.push_back(KeyValue{std::string(token.substr(0, eq)),
+                           std::string(token.substr(eq + 1))});
+  }
+  return true;
+}
+
+bool parse_global(const std::vector<KeyValue>& pairs, ScenarioSpec& spec,
+                  std::string& error) {
+  for (const KeyValue& kv : pairs) {
+    if (kv.key == "mesh") {
+      const std::vector<std::string> dims = split(kv.value, 'x');
+      if (dims.size() != 2 || !parse_i32(dims[0], 1, kMaxMeshDim, spec.mesh_p) ||
+          !parse_i32(dims[1], 1, kMaxMeshDim, spec.mesh_q)) {
+        error = "bad mesh '" + kv.value + "' (want <p>x<q>)";
+        return false;
+      }
+    } else if (kv.key == "model") {
+      if (kv.value == "discrete") {
+        spec.model = ScenarioSpec::ModelKind::kDiscrete;
+      } else if (kv.value == "theory") {
+        spec.model = ScenarioSpec::ModelKind::kTheory;
+      } else {
+        error = "bad model '" + kv.value + "' (want discrete or theory)";
+        return false;
+      }
+    } else {
+      error = "unknown global key '" + kv.key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_layer(const std::vector<KeyValue>& pairs, WorkloadLayer& out,
+                 std::string& error) {
+  WorkloadLayer layer;
+  bool have_kind = false;
+  for (const KeyValue& kv : pairs) {
+    if (kv.key == "kind") {
+      have_kind = true;
+      if (kv.value == "uniform") {
+        layer.kind = WorkloadLayer::Kind::kUniform;
+      } else if (kv.value == "length") {
+        layer.kind = WorkloadLayer::Kind::kFixedLength;
+      } else if (kv.value == "pattern") {
+        layer.kind = WorkloadLayer::Kind::kPattern;
+      } else if (kv.value == "hotspots") {
+        layer.kind = WorkloadLayer::Kind::kHotspots;
+      } else if (kv.value == "apps") {
+        layer.kind = WorkloadLayer::Kind::kApps;
+      } else {
+        error = "unknown layer kind '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "n") {
+      if (!parse_i32(kv.value, 0, kMaxComms, layer.num_comms)) {
+        error = "bad n '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "lo") {
+      if (!parse_double(kv.value, layer.weight_lo)) {
+        error = "bad lo '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "hi") {
+      if (!parse_double(kv.value, layer.weight_hi)) {
+        error = "bad hi '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "len") {
+      if (!parse_i32(kv.value, 1, 2 * kMaxMeshDim, layer.length)) {
+        error = "bad len '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "pattern") {
+      if (find_pattern(kv.value, layer.pattern) == nullptr) {
+        error = "unknown pattern '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "weight") {
+      if (!parse_positive(kv.value, layer.pattern_weight)) {
+        error = "bad weight '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "jitter") {
+      if (!parse_double(kv.value, layer.jitter) ||
+          !(layer.jitter >= 0.0 && layer.jitter < 1.0)) {
+        error = "bad jitter '" + kv.value + "' (want [0, 1))";
+        return false;
+      }
+    } else if (kv.key == "hotspot") {
+      const std::vector<std::string> parts = split(kv.value, ',');
+      if (parts.size() != 2 ||
+          !parse_i32(parts[0], 0, kMaxMeshDim - 1, layer.hotspot.u) ||
+          !parse_i32(parts[1], 0, kMaxMeshDim - 1, layer.hotspot.v)) {
+        error = "bad hotspot '" + kv.value + "' (want <u>,<v>)";
+        return false;
+      }
+    } else if (kv.key == "spots") {
+      if (!parse_i32(kv.value, 1, kMaxComms, layer.num_hotspots)) {
+        error = "bad spots '" + kv.value + "'";
+        return false;
+      }
+    } else if (kv.key == "apps") {
+      layer.apps.clear();
+      for (const std::string& part : split(kv.value, '+')) {
+        AppSpec app;
+        if (!parse_app(part, app, error)) return false;
+        layer.apps.push_back(app);
+      }
+    } else if (kv.key == "place") {
+      if (kv.value == "contiguous") {
+        layer.placement = WorkloadLayer::Placement::kContiguous;
+      } else if (kv.value == "scattered") {
+        layer.placement = WorkloadLayer::Placement::kScattered;
+      } else {
+        error = "bad place '" + kv.value + "' (want contiguous or scattered)";
+        return false;
+      }
+    } else if (kv.key == "envelope") {
+      if (!IntensityEnvelope::parse(kv.value, layer.envelope, error)) return false;
+    } else {
+      error = "unknown layer key '" + kv.key + "'";
+      return false;
+    }
+  }
+  if (!have_kind) {
+    error = "layer is missing kind=";
+    return false;
+  }
+  if ((layer.kind == WorkloadLayer::Kind::kUniform ||
+       layer.kind == WorkloadLayer::Kind::kFixedLength ||
+       layer.kind == WorkloadLayer::Kind::kHotspots) &&
+      !(std::isfinite(layer.weight_lo) && std::isfinite(layer.weight_hi) &&
+        layer.weight_lo > 0.0 && layer.weight_hi >= layer.weight_lo)) {
+    error = "bad weight range [" + format_compact(layer.weight_lo) + ", " +
+            format_compact(layer.weight_hi) + ")";
+    return false;
+  }
+  if (layer.kind == WorkloadLayer::Kind::kFixedLength && layer.length < 1) {
+    error = "length layer needs len=";
+    return false;
+  }
+  if (layer.kind == WorkloadLayer::Kind::kApps && layer.apps.empty()) {
+    error = "apps layer needs apps=";
+    return false;
+  }
+  out = std::move(layer);
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Cross-field checks a single layer cannot do alone: every mesh-dependent
+/// precondition that generate() would otherwise only trip at run time.
+bool validate_against_mesh(const ScenarioSpec& spec, std::string& error) {
+  const std::int32_t cores = spec.mesh_p * spec.mesh_q;
+  for (const WorkloadLayer& layer : spec.layers) {
+    switch (layer.kind) {
+      case WorkloadLayer::Kind::kPattern:
+        if (layer.pattern == TrafficPattern::kTranspose && spec.mesh_p != spec.mesh_q) {
+          error = "transpose needs a square mesh";
+          return false;
+        }
+        if ((layer.pattern == TrafficPattern::kBitReverse ||
+             layer.pattern == TrafficPattern::kShuffle) &&
+            (cores & (cores - 1)) != 0) {
+          error = "bit patterns need a power-of-two core count";
+          return false;
+        }
+        if (layer.pattern == TrafficPattern::kHotspot &&
+            !(layer.hotspot.u < spec.mesh_p && layer.hotspot.v < spec.mesh_q)) {
+          error = "hotspot " + std::to_string(layer.hotspot.u) + "," +
+                  std::to_string(layer.hotspot.v) + " outside the mesh";
+          return false;
+        }
+        break;
+      case WorkloadLayer::Kind::kHotspots:
+        if (layer.num_hotspots >= cores) {
+          error = "spots=" + std::to_string(layer.num_hotspots) +
+                  " must leave at least one sender core";
+          return false;
+        }
+        break;
+      case WorkloadLayer::Kind::kApps: {
+        std::int32_t tasks = 0;
+        for (const AppSpec& app : layer.apps) tasks += app.num_tasks();
+        if (tasks > cores) {
+          error = "applications need " + std::to_string(tasks) + " cores, mesh has " +
+                  std::to_string(cores);
+          return false;
+        }
+        break;
+      }
+      case WorkloadLayer::Kind::kUniform:
+      case WorkloadLayer::Kind::kFixedLength:
+        if (layer.num_comms > 0 && cores < 2) {
+          error = "random endpoints need at least two cores";
+          return false;
+        }
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ScenarioSpec::parse(std::string_view text, ScenarioSpec& out, std::string& error) {
+  ScenarioSpec spec;
+  const std::vector<std::string> sections = split(text, ';');
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    std::vector<KeyValue> pairs;
+    if (!tokenize_section(sections[i], pairs, error)) return false;
+    if (i == 0) {
+      if (!parse_global(pairs, spec, error)) return false;
+      continue;
+    }
+    WorkloadLayer layer;
+    if (!parse_layer(pairs, layer, error)) return false;
+    spec.layers.push_back(std::move(layer));
+  }
+  if (!validate_against_mesh(spec, error)) return false;
+  out = std::move(spec);
+  return true;
+}
+
+}  // namespace scenario
+}  // namespace pamr

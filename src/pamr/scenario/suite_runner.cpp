@@ -1,0 +1,240 @@
+#include "pamr/scenario/suite_runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+
+#include "pamr/exp/instance_runner.hpp"
+#include "pamr/util/assert.hpp"
+#include "pamr/util/log.hpp"
+#include "pamr/util/string_util.hpp"
+#include "pamr/util/timer.hpp"
+
+namespace pamr {
+namespace scenario {
+
+namespace {
+
+struct PointJob {
+  Mesh mesh;
+  PowerModel model;
+  const ScenarioSpec* spec;
+  std::uint64_t point_id;
+};
+
+/// Executes all jobs' instances in one flattened parallel_for. Chunk
+/// boundaries depend only on (instances, chunk), and chunk partials are
+/// merged in index order, so the result is independent of the pool size.
+std::vector<exp::PointAggregate> run_jobs(const std::vector<PointJob>& jobs,
+                                          std::int32_t instances, std::uint64_t seed,
+                                          std::size_t chunk, ThreadPool& pool) {
+  PAMR_CHECK(instances >= 1, "need at least one instance");
+  PAMR_CHECK(chunk >= 1, "chunk must be positive");
+  const auto count = static_cast<std::size_t>(instances);
+  const std::size_t chunks_per_point = (count + chunk - 1) / chunk;
+  std::vector<exp::PointAggregate> partials(jobs.size() * chunks_per_point);
+
+  pool.parallel_for(partials.size(), [&](std::size_t item) {
+    const PointJob& job = jobs[item / chunks_per_point];
+    const std::size_t begin = (item % chunks_per_point) * chunk;
+    const std::size_t end = std::min(begin + chunk, count);
+    exp::PointAggregate& partial = partials[item];
+    for (std::size_t instance = begin; instance < end; ++instance) {
+      Rng rng(derive_seed(seed, job.point_id, instance));
+      // Envelope position: instance midpoints cover (0, 1) evenly.
+      const double t =
+          (static_cast<double>(instance) + 0.5) / static_cast<double>(count);
+      const CommSet comms = job.spec->generate(job.mesh, t, rng);
+      partial.add(exp::run_instance(job.mesh, comms, job.model));
+    }
+  });
+
+  std::vector<exp::PointAggregate> out(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    for (std::size_t c = 0; c < chunks_per_point; ++c) {
+      out[j].merge(partials[j * chunks_per_point + c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+exp::PointAggregate run_scenario_point(const Mesh& mesh, const PowerModel& model,
+                                       const ScenarioSpec& spec, std::int32_t instances,
+                                       std::uint64_t seed, std::uint64_t point_id,
+                                       ThreadPool* pool, std::size_t chunk) {
+  std::vector<PointJob> jobs;
+  jobs.push_back(PointJob{mesh, model, &spec, point_id});
+  return std::move(run_jobs(jobs, instances, seed, chunk,
+                            pool != nullptr ? *pool : ThreadPool::global())
+                       .front());
+}
+
+SuiteRunner::SuiteRunner(SuiteOptions options) : options_(options) {
+  PAMR_CHECK(options_.instances >= 1, "need at least one instance per point");
+  PAMR_CHECK(options_.chunk >= 1, "chunk must be positive");
+}
+
+ScenarioResult SuiteRunner::run(const Scenario& scenario) const {
+  const WallTimer timer;
+  std::vector<PointJob> jobs;
+  jobs.reserve(scenario.points.size());
+  for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+    const ScenarioSpec& spec = scenario.points[p].spec;
+    jobs.push_back(PointJob{spec.make_mesh(), spec.make_model(), &spec,
+                            static_cast<std::uint64_t>(p)});
+  }
+
+  std::unique_ptr<ThreadPool> own_pool;
+  if (options_.threads != 0) own_pool = std::make_unique<ThreadPool>(options_.threads);
+  ThreadPool& pool = own_pool != nullptr ? *own_pool : ThreadPool::global();
+  std::vector<exp::PointAggregate> aggregates =
+      run_jobs(jobs, options_.instances, options_.seed, options_.chunk, pool);
+
+  ScenarioResult result;
+  result.name = scenario.name;
+  result.x_label = scenario.x_label;
+  result.points.reserve(scenario.points.size());
+  for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+    result.points.push_back(
+        ScenarioPointResult{scenario.points[p].x, std::move(aggregates[p])});
+  }
+  result.elapsed_seconds = timer.elapsed_seconds();
+  return result;
+}
+
+// -------------------------------------------------------- campaign bridge --
+
+ScenarioSpec spec_from_workload(const exp::WorkloadSpec& workload) {
+  WorkloadLayer layer;
+  switch (workload.kind) {
+    case exp::WorkloadSpec::Kind::kUniform:
+      layer.kind = WorkloadLayer::Kind::kUniform;
+      break;
+    case exp::WorkloadSpec::Kind::kFixedLength:
+      layer.kind = WorkloadLayer::Kind::kFixedLength;
+      layer.length = workload.length;
+      break;
+  }
+  layer.num_comms = workload.num_comms;
+  layer.weight_lo = workload.weight_lo;
+  layer.weight_hi = workload.weight_hi;
+  ScenarioSpec spec;
+  spec.layers.push_back(std::move(layer));
+  return spec;
+}
+
+exp::WorkloadSpec workload_from_spec(const ScenarioSpec& spec) {
+  PAMR_CHECK(spec.mesh_p == 8 && spec.mesh_q == 8 &&
+                 spec.model == ScenarioSpec::ModelKind::kDiscrete,
+             "not a paper-platform scenario");
+  PAMR_CHECK(spec.layers.size() == 1, "campaign workloads are single-layer");
+  const WorkloadLayer& layer = spec.layers.front();
+  PAMR_CHECK(layer.envelope.flat(), "campaign workloads have no envelope");
+  exp::WorkloadSpec workload;
+  switch (layer.kind) {
+    case WorkloadLayer::Kind::kUniform:
+      workload.kind = exp::WorkloadSpec::Kind::kUniform;
+      break;
+    case WorkloadLayer::Kind::kFixedLength:
+      workload.kind = exp::WorkloadSpec::Kind::kFixedLength;
+      break;
+    default:
+      PAMR_CHECK(false, "not a uniform or fixed-length layer");
+  }
+  workload.num_comms = layer.num_comms;
+  workload.weight_lo = layer.weight_lo;
+  workload.weight_hi = layer.weight_hi;
+  workload.length = layer.length;
+  return workload;
+}
+
+// ---------------------------------------------------------------- tables --
+
+Table series_table(const std::string& x_label, const std::vector<double>& xs,
+                   const std::vector<const exp::PointAggregate*>& points,
+                   SeriesExtractor extract) {
+  PAMR_CHECK(xs.size() == points.size(), "xs/points size mismatch");
+  std::vector<std::string> header{x_label};
+  for (std::size_t s = 0; s < exp::kNumSeries; ++s) {
+    header.emplace_back(exp::series_name(s));
+  }
+  Table table(std::move(header));
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::vector<Cell> row;
+    row.emplace_back(xs[i]);
+    for (std::size_t s = 0; s < exp::kNumSeries; ++s) {
+      row.emplace_back(extract(*points[i], s));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+namespace {
+
+Table result_table(const ScenarioResult& result, SeriesExtractor extract) {
+  std::vector<double> xs;
+  std::vector<const exp::PointAggregate*> points;
+  xs.reserve(result.points.size());
+  points.reserve(result.points.size());
+  for (const ScenarioPointResult& point : result.points) {
+    xs.push_back(point.x);
+    points.push_back(&point.aggregate);
+  }
+  return series_table(result.x_label, xs, points, extract);
+}
+
+}  // namespace
+
+Table normalized_inverse_table(const ScenarioResult& result) {
+  return result_table(result, [](const exp::PointAggregate& point, std::size_t s) {
+    return point.normalized_inverse[s].mean();
+  });
+}
+
+Table failure_ratio_table(const ScenarioResult& result) {
+  return result_table(result, [](const exp::PointAggregate& point, std::size_t s) {
+    return point.failure_ratio(s);
+  });
+}
+
+std::string result_to_json(const ScenarioResult& result) {
+  std::string out = "{\n\"scenario\": \"" + json_escape(result.name) + "\",\n";
+  out += "\"normalized_inverse_power\": " + normalized_inverse_table(result).to_json();
+  out += ",\n\"failure_ratio\": " + failure_ratio_table(result).to_json();
+  out += "}\n";
+  return out;
+}
+
+void run_and_report(const Scenario& scenario, const SuiteOptions& options,
+                    bool write_csv, bool write_json) {
+  const ScenarioResult result = SuiteRunner(options).run(scenario);
+
+  std::printf("== %s (%d instances/point, %.1fs) ==\n", scenario.name.c_str(),
+              options.instances, result.elapsed_seconds);
+  std::printf("-- normalized power inverse (1/P over 1/P_BEST; 0 = failure) --\n%s",
+              normalized_inverse_table(result).to_text().c_str());
+  std::printf("-- failure ratio --\n%s\n", failure_ratio_table(result).to_text().c_str());
+
+  const std::string base = output_directory() + "/" + scenario.name;
+  if (write_csv) {
+    (void)normalized_inverse_table(result).write_csv(base + "_norm_inv_power.csv");
+    (void)failure_ratio_table(result).write_csv(base + "_failure_ratio.csv");
+    PAMR_LOG_INFO("wrote " + base + "_{norm_inv_power,failure_ratio}.csv");
+  }
+  if (write_json) {
+    std::ofstream file(base + ".json");
+    if (file) {
+      file << result_to_json(result);
+      PAMR_LOG_INFO("wrote " + base + ".json");
+    } else {
+      PAMR_LOG_WARN("cannot open '" + base + ".json' for writing");
+    }
+  }
+}
+
+}  // namespace scenario
+}  // namespace pamr

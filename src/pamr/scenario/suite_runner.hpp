@@ -1,0 +1,110 @@
+// Sharded parallel execution of scenario suites.
+//
+// The runner flattens a scenario's (point × instance-chunk) grid into one
+// work list and distributes it over the ThreadPool, so short points do not
+// serialize behind long ones. Determinism is total: instance i of point p
+// draws from Rng(derive_seed(seed, p, i)) — never from thread identity —
+// and per-instance samples are folded into fixed-size chunk aggregates that
+// are merged in chunk order afterwards, so the resulting PointAggregates
+// are bit-identical for 1 thread and N threads. exp::run_point delegates
+// here, which is what makes `pamr_scenarios --run fig7a_small` reproduce
+// `bench/fig7_num_comms` number-for-number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pamr/exp/campaign.hpp"
+#include "pamr/exp/metrics.hpp"
+#include "pamr/scenario/registry.hpp"
+#include "pamr/util/csv.hpp"
+#include "pamr/util/thread_pool.hpp"
+
+namespace pamr {
+namespace scenario {
+
+struct SuiteOptions {
+  std::int32_t instances = 300;  ///< instances per point (PAMR_TRIALS in the CLI)
+  std::uint64_t seed = 0x9e3779b9ULL;
+  std::size_t threads = 0;  ///< 0 = the global pool; else a dedicated pool
+  /// Instances folded per work item. Fixed chunking (independent of the
+  /// thread count) is what makes aggregates bit-identical across pools;
+  /// 8 keeps a single default-trials point (300 instances) spread over
+  /// ~38 items, enough for wide machines even without point flattening.
+  std::size_t chunk = 8;
+};
+
+struct ScenarioPointResult {
+  double x = 0.0;
+  exp::PointAggregate aggregate;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string x_label;
+  std::vector<ScenarioPointResult> points;
+  double elapsed_seconds = 0.0;
+};
+
+/// Runs every instance of one spec (the single-point kernel; exp::run_point
+/// delegates here). `pool` may be null for the global pool.
+[[nodiscard]] exp::PointAggregate run_scenario_point(
+    const Mesh& mesh, const PowerModel& model, const ScenarioSpec& spec,
+    std::int32_t instances, std::uint64_t seed, std::uint64_t point_id,
+    ThreadPool* pool = nullptr, std::size_t chunk = 8);
+
+class SuiteRunner {
+ public:
+  explicit SuiteRunner(SuiteOptions options = {});
+
+  [[nodiscard]] const SuiteOptions& options() const noexcept { return options_; }
+
+  /// Runs all points of one scenario, sharded over the pool as a single
+  /// flattened work list.
+  [[nodiscard]] ScenarioResult run(const Scenario& scenario) const;
+
+ private:
+  SuiteOptions options_;
+};
+
+// -- Campaign bridge -------------------------------------------------------
+//
+// exp::WorkloadSpec predates the scenario subsystem and survives as the
+// narrow paper-campaign view; these converters let exp::campaign and
+// exp::panels run on the scenario engine while their declarative APIs (and
+// the tests pinning the paper's parameters) stay put.
+
+/// Wraps a campaign workload as a single-layer scenario on the paper's
+/// platform (8×8, discrete links, flat envelope).
+[[nodiscard]] ScenarioSpec spec_from_workload(const exp::WorkloadSpec& workload);
+
+/// Inverse of spec_from_workload; CHECKs that the spec is such a
+/// single-layer paper workload.
+[[nodiscard]] exp::WorkloadSpec workload_from_spec(const ScenarioSpec& spec);
+
+// -- Reporting -------------------------------------------------------------
+
+/// Generic per-series table: one row per x, one column per series. The
+/// extractor maps (aggregate, series) to the cell value. Shared by the
+/// scenario CLI and exp::panels.
+using SeriesExtractor = double (*)(const exp::PointAggregate&, std::size_t);
+[[nodiscard]] Table series_table(const std::string& x_label,
+                                 const std::vector<double>& xs,
+                                 const std::vector<const exp::PointAggregate*>& points,
+                                 SeriesExtractor extract);
+
+[[nodiscard]] Table normalized_inverse_table(const ScenarioResult& result);
+[[nodiscard]] Table failure_ratio_table(const ScenarioResult& result);
+
+/// Both tables as one JSON document (util/csv Table::to_json rows).
+[[nodiscard]] std::string result_to_json(const ScenarioResult& result);
+
+/// Runs a scenario and prints both tables; optionally writes
+/// output_directory()/<name>_{norm_inv_power,failure_ratio}.csv and
+/// <name>.json.
+void run_and_report(const Scenario& scenario, const SuiteOptions& options,
+                    bool write_csv, bool write_json = false);
+
+}  // namespace scenario
+}  // namespace pamr

@@ -91,6 +91,29 @@ std::string Table::to_csv() const {
   return out.str();
 }
 
+std::string Table::to_json() const {
+  std::ostringstream out;
+  out << "[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << (r == 0 ? "\n" : ",\n") << "  {";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      if (c > 0) out << ", ";
+      out << '"' << json_escape(header_[c]) << "\": ";
+      const Cell& cell = rows_[r][c];
+      if (const auto* text = std::get_if<std::string>(&cell)) {
+        out << '"' << json_escape(*text) << '"';
+      } else if (const auto* integer = std::get_if<std::int64_t>(&cell)) {
+        out << *integer;
+      } else {
+        out << format_compact(std::get<double>(cell));
+      }
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
 bool Table::write_csv(const std::string& path) const {
   std::ofstream file(path);
   if (!file) {
@@ -98,6 +121,16 @@ bool Table::write_csv(const std::string& path) const {
     return false;
   }
   file << to_csv();
+  return static_cast<bool>(file);
+}
+
+bool Table::write_json(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    PAMR_LOG_WARN("cannot open '" + path + "' for writing");
+    return false;
+  }
+  file << to_json();
   return static_cast<bool>(file);
 }
 

@@ -33,8 +33,15 @@ class Table {
   /// Renders RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
   [[nodiscard]] std::string to_csv() const;
 
+  /// Renders a JSON array of row objects keyed by column name; numeric
+  /// cells stay numbers (doubles at full "%.10g" precision).
+  [[nodiscard]] std::string to_json() const;
+
   /// Writes CSV to `path`; returns false (and logs) on I/O failure.
   bool write_csv(const std::string& path) const;
+
+  /// Writes to_json() to `path`; returns false (and logs) on I/O failure.
+  bool write_json(const std::string& path) const;
 
  private:
   [[nodiscard]] std::string format_cell(const Cell& cell) const;

@@ -17,6 +17,15 @@ namespace pamr {
 /// Fixed-precision double formatting ("%.*f") without iostream state leaks.
 [[nodiscard]] std::string format_double(double value, int precision = 4);
 
+/// Compact formatting ("%.10g") for machine-readable round-trips: values
+/// with up to ten significant decimal digits — every constant in the
+/// scenario registry — reparse exactly; no trailing zeros.
+[[nodiscard]] std::string format_compact(double value);
+
+/// Escapes quotes, backslashes and control characters for embedding in a
+/// JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
 /// Human-readable quantities for logs: "1.25 Gb/s", "16.9 mW", "24.3 ms".
 [[nodiscard]] std::string format_bandwidth_mbps(double mbps);
 [[nodiscard]] std::string format_power_mw(double mw);

@@ -40,6 +40,12 @@ struct ThreadPool::ForLoop {
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
+    if (const char* env = std::getenv("PAMR_THREADS")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) threads = static_cast<std::size_t>(parsed);
+    }
+  }
+  if (threads == 0) {
     threads = std::thread::hardware_concurrency();
     if (threads == 0) threads = 4;
   }
@@ -136,13 +142,7 @@ void ThreadPool::parallel_for(std::size_t count,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([] {
-    if (const char* env = std::getenv("PAMR_THREADS")) {
-      const long parsed = std::strtol(env, nullptr, 10);
-      if (parsed > 0) return static_cast<std::size_t>(parsed);
-    }
-    return static_cast<std::size_t>(0);
-  }());
+  static ThreadPool pool;
   return pool;
 }
 

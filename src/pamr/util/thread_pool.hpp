@@ -21,7 +21,8 @@ namespace pamr {
 
 class ThreadPool {
  public:
-  /// Creates `threads` workers; 0 means std::thread::hardware_concurrency().
+  /// Creates `threads` workers; 0 means PAMR_THREADS if set (so CI and
+  /// laptops can bound parallelism), else std::thread::hardware_concurrency().
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 
@@ -37,8 +38,8 @@ class ThreadPool {
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
                     std::size_t grain = 1);
 
-  /// Process-wide pool, sized from PAMR_THREADS if set, else hardware
-  /// concurrency. Constructed on first use.
+  /// Process-wide default-constructed pool (so it honours PAMR_THREADS).
+  /// Constructed on first use.
   static ThreadPool& global();
 
  private:

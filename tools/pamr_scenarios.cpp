@@ -1,0 +1,134 @@
+// Scenario suite driver: list, describe and run the named scenario
+// catalogue (or an ad-hoc spec given on the command line).
+//
+//   $ pamr_scenarios --list
+//   $ pamr_scenarios --describe hotspot_storm
+//   $ pamr_scenarios --run fig7a_small,fig7b_mixed --trials 300 --csv
+//   $ pamr_scenarios --run all --json
+//   $ pamr_scenarios --spec "mesh=8x8 model=discrete ; kind=uniform n=40
+//         lo=100 hi=1500 envelope=ramp:0.5:2" --trials 100
+//
+// Figure suites default to the seed their bench binary uses (fig7* → 7,
+// fig8* → 8, fig9* → 9), so `--run fig7a_small` reproduces
+// `bench/fig7_num_comms` number-for-number; --seed overrides.
+#include <cstdio>
+
+#include "pamr/exp/campaign.hpp"
+#include "pamr/scenario/suite_runner.hpp"
+#include "pamr/util/args.hpp"
+#include "pamr/util/string_util.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pamr;
+  using scenario::Scenario;
+  using scenario::ScenarioRegistry;
+
+  ArgParser parser("pamr_scenarios", "list, describe and run workload scenarios");
+  parser.add_flag("list", "enumerate the named scenarios and exit");
+  parser.add_string("describe", "", "print a scenario's point specs and exit");
+  parser.add_string("run", "", "comma-separated scenario names, or 'all'");
+  parser.add_string("spec", "", "run one ad-hoc scenario spec (see scenario_spec.hpp)");
+  parser.add_int("trials", exp::default_trials(), "instances per point", "PAMR_TRIALS");
+  parser.add_int("seed", -1, "base seed; -1 uses each scenario's default");
+  parser.add_int("threads", 0, "worker threads; 0 follows PAMR_THREADS/hardware");
+  parser.add_flag("csv", "also write CSV files to PAMR_OUT_DIR");
+  parser.add_flag("json", "also write a JSON file per scenario to PAMR_OUT_DIR");
+  int exit_code = 0;
+  if (!parser.parse(argc, argv, exit_code)) return exit_code;
+
+  const ScenarioRegistry& registry = ScenarioRegistry::builtin();
+
+  if (parser.get_flag("list")) {
+    Table table({"name", "points", "description"});
+    for (const Scenario& scenario : registry.scenarios()) {
+      table.add_row({scenario.name, static_cast<std::int64_t>(scenario.points.size()),
+                     scenario.description});
+    }
+    std::printf("%s", table.to_text().c_str());
+    return 0;
+  }
+
+  if (const std::string& name = parser.get_string("describe"); !name.empty()) {
+    const Scenario* scenario = registry.find(name);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+      return 2;
+    }
+    std::printf("%s — %s\n", scenario->name.c_str(), scenario->description.c_str());
+    for (const auto& point : scenario->points) {
+      std::printf("  %s=%s  %s\n", scenario->x_label.c_str(),
+                  format_compact(point.x).c_str(), point.spec.to_string().c_str());
+    }
+    return 0;
+  }
+
+  const std::int64_t threads = parser.get_int("threads");
+  if (threads < 0 || threads > 4096) {
+    std::fprintf(stderr, "--threads must be in [0, 4096], got %lld\n",
+                 static_cast<long long>(threads));
+    return 2;
+  }
+  const std::int64_t trials = parser.get_int("trials");
+  if (trials < 1 || trials > 10'000'000) {
+    std::fprintf(stderr, "--trials must be in [1, 10000000], got %lld\n",
+                 static_cast<long long>(trials));
+    return 2;
+  }
+  scenario::SuiteOptions options;
+  options.instances = static_cast<std::int32_t>(trials);
+  options.threads = static_cast<std::size_t>(threads);
+  const std::int64_t seed = parser.get_int("seed");
+
+  // PAMR_CHECK failures surface as std::logic_error; anything the parser's
+  // validation did not anticipate should still exit with a diagnostic, not
+  // an abort.
+  auto run_one = [&](const Scenario& scenario) {
+    scenario::SuiteOptions scenario_options = options;
+    scenario_options.seed = seed >= 0 ? static_cast<std::uint64_t>(seed)
+                                      : scenario.default_seed;
+    try {
+      scenario::run_and_report(scenario, scenario_options, parser.get_flag("csv"),
+                               parser.get_flag("json"));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error running '%s': %s\n", scenario.name.c_str(), e.what());
+      return false;
+    }
+    return true;
+  };
+
+  if (const std::string& text = parser.get_string("spec"); !text.empty()) {
+    scenario::ScenarioSpec spec;
+    std::string error;
+    if (!scenario::ScenarioSpec::parse(text, spec, error)) {
+      std::fprintf(stderr, "bad --spec: %s\n", error.c_str());
+      return 2;
+    }
+    Scenario adhoc;
+    adhoc.name = "adhoc";
+    adhoc.description = "ad-hoc spec from the command line";
+    adhoc.points.push_back({0.0, std::move(spec)});
+    return run_one(adhoc) ? 0 : 2;
+  }
+
+  const std::string& names = parser.get_string("run");
+  if (names.empty()) {
+    std::fputs(parser.help_text().c_str(), stdout);
+    return 2;
+  }
+  if (names == "all") {
+    for (const Scenario& scenario : registry.scenarios()) {
+      if (!run_one(scenario)) return 2;
+    }
+    return 0;
+  }
+  for (const std::string& name : split(names, ',')) {
+    const Scenario* scenario = registry.find(trim(name));
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   std::string(trim(name)).c_str());
+      return 2;
+    }
+    if (!run_one(*scenario)) return 2;
+  }
+  return 0;
+}
