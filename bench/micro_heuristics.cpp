@@ -1,50 +1,52 @@
 // google-benchmark micro bench: construction time of each §5 policy on the
 // §6 workloads (regenerates the paper's runtime row: "the solution is
-// obtained in 24 ms for XYI, and in 38 ms for PR" on 2011 hardware).
+// obtained in 24 ms for XYI, and in 38 ms for PR" on 2011 hardware), plus
+// scaled meshes to track the incremental PR removal loop:
+//
+//   route/<KIND>/<nc>    8×8,   nc ∈ {20, 50, 100}  — all policies + BEST
+//   route16/<KIND>/<nc>  16×16, nc ∈ {100, 500}     — without XYI/BEST
+//   route32/<KIND>/<nc>  32×32, nc ∈ {500, 2000}    — without XYI/BEST
+//
+// The matrix lives in pamr/bench/heuristics_matrix.hpp, shared with
+// tools/pamr_bench_export (the BENCH_2.json baseline exporter).
 #include <benchmark/benchmark.h>
 
-#include "pamr/comm/generator.hpp"
-#include "pamr/routing/routers.hpp"
+#include <string>
+
+#include "pamr/bench/heuristics_matrix.hpp"
 
 namespace {
 
 using namespace pamr;
 
-CommSet workload(const Mesh& mesh, std::int32_t num_comms, std::uint64_t seed) {
-  Rng rng(seed);
-  UniformWorkload spec;
-  spec.num_comms = num_comms;
-  spec.weight_lo = 100.0;
-  spec.weight_hi = 1500.0;
-  return generate_uniform(mesh, spec, rng);
-}
-
-void route_benchmark(benchmark::State& state, RouterKind kind) {
-  const Mesh mesh(8, 8);
+void route_benchmark(benchmark::State& state, std::int32_t p, std::int32_t q,
+                     RouterKind kind) {
+  const Mesh mesh(p, q);
   const PowerModel model = PowerModel::paper_discrete();
   const auto router = make_router(kind);
   const CommSet comms =
-      workload(mesh, static_cast<std::int32_t>(state.range(0)), 0xBEEF);
+      bench::heuristics_workload(mesh, static_cast<std::int32_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(router->route(mesh, comms, model));
   }
 }
 
 void register_all() {
-  for (const RouterKind kind :
-       {RouterKind::kXY, RouterKind::kSG, RouterKind::kIG, RouterKind::kTB,
-        RouterKind::kXYI, RouterKind::kPR, RouterKind::kBest}) {
-    // benchmark 1.7 only has the const char* overload; the name is copied
-    // internally, so the temporary is safe.
-    const std::string name = std::string("route/") + to_cstring(kind);
-    benchmark::RegisterBenchmark(name.c_str(),
-                                 [kind](benchmark::State& state) {
-                                   route_benchmark(state, kind);
-                                 })
-        ->Arg(20)
-        ->Arg(50)
-        ->Arg(100)
-        ->Unit(benchmark::kMillisecond);
+  for (const bench::MeshCase& mesh_case : bench::heuristics_matrix()) {
+    for (const RouterKind kind : mesh_case.kinds) {
+      // benchmark 1.7 only has the const char* overload; the name is copied
+      // internally, so the temporary is safe.
+      const std::string name =
+          std::string(mesh_case.prefix) + "/" + to_cstring(kind);
+      const std::int32_t p = mesh_case.p;
+      const std::int32_t q = mesh_case.q;
+      auto* bench = benchmark::RegisterBenchmark(
+          name.c_str(), [p, q, kind](benchmark::State& state) {
+            route_benchmark(state, p, q, kind);
+          });
+      for (const std::int32_t nc : mesh_case.num_comms) bench->Arg(nc);
+      bench->Unit(benchmark::kMillisecond);
+    }
   }
 }
 

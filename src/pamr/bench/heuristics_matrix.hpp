@@ -1,0 +1,56 @@
+// The micro-heuristics measurement matrix, shared by bench/micro_heuristics
+// (google-benchmark timings) and tools/pamr_bench_export (the BENCH_2.json
+// perf-trajectory export) so the two can never drift apart: same meshes,
+// same comm counts, same router sets, same generator seed and weight range
+// — a benchmark name and an export row with matching (mesh, nc, router) are
+// directly comparable.
+//
+// XYI — and BEST, which runs it — is excluded from the scaled meshes: its
+// local search is seconds-per-call at 16×16 and beyond, which would make
+// the CI bench smoke step minutes long without measuring anything new.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/comm/generator.hpp"
+#include "pamr/routing/routers.hpp"
+
+namespace pamr::bench {
+
+inline constexpr std::uint64_t kWorkloadSeed = 0xBEEF;
+inline constexpr double kWeightLo = 100.0;
+inline constexpr double kWeightHi = 1500.0;
+
+struct MeshCase {
+  const char* prefix;  ///< benchmark name prefix ("route", "route16", …)
+  std::int32_t p = 0;
+  std::int32_t q = 0;
+  std::vector<RouterKind> kinds;
+  std::vector<std::int32_t> num_comms;
+};
+
+inline std::vector<MeshCase> heuristics_matrix() {
+  const std::vector<RouterKind> all = {
+      RouterKind::kXY,  RouterKind::kSG, RouterKind::kIG,  RouterKind::kTB,
+      RouterKind::kXYI, RouterKind::kPR, RouterKind::kBest};
+  const std::vector<RouterKind> scaled = {RouterKind::kXY, RouterKind::kSG,
+                                          RouterKind::kIG, RouterKind::kTB,
+                                          RouterKind::kPR};
+  return {
+      {"route", 8, 8, all, {20, 50, 100}},
+      {"route16", 16, 16, scaled, {100, 500}},
+      {"route32", 32, 32, scaled, {500, 2000}},
+  };
+}
+
+inline CommSet heuristics_workload(const Mesh& mesh, std::int32_t num_comms) {
+  Rng rng(kWorkloadSeed);
+  UniformWorkload spec;
+  spec.num_comms = num_comms;
+  spec.weight_lo = kWeightLo;
+  spec.weight_hi = kWeightHi;
+  return generate_uniform(mesh, spec, rng);
+}
+
+}  // namespace pamr::bench

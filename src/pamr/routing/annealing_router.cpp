@@ -45,7 +45,7 @@ Path uniform_random_path(const CommRect& rect, Rng& rng) {
 
 }  // namespace
 
-RouteResult AnnealingRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult AnnealingRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                                    const PowerModel& model) const {
   const WallTimer timer;
   if (comms.empty()) {

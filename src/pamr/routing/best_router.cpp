@@ -8,7 +8,7 @@
 
 namespace pamr {
 
-RouteResult BestRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult BestRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                               const PowerModel& model) const {
   const WallTimer timer;
   RouteResult best;

@@ -34,8 +34,10 @@ class RipUpRerouteRouter final : public Router {
       : options_(options) {}
 
   [[nodiscard]] const char* name() const noexcept override { return "RR"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 
  private:
   RipUpOptions options_;
@@ -54,8 +56,10 @@ class AnnealingRouter final : public Router {
       : options_(options) {}
 
   [[nodiscard]] const char* name() const noexcept override { return "SA"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 
  private:
   AnnealingOptions options_;

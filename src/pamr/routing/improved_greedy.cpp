@@ -59,7 +59,7 @@ double remaining_bound(const Mesh& mesh, Coord from, Coord snk, double weight,
 
 }  // namespace
 
-RouteResult ImprovedGreedyRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult ImprovedGreedyRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                                         const PowerModel& model) const {
   const WallTimer timer;
   const LoadCost cost(model);

@@ -1,0 +1,78 @@
+#include "pamr/routing/load_index.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+LoadIndex::LoadIndex(std::int32_t num_links, const LinkLoads& loads)
+    : order_(static_cast<std::size_t>(num_links)),
+      pos_(static_cast<std::size_t>(num_links)),
+      retired_(static_cast<std::size_t>(num_links), 0),
+      changed_mark_(static_cast<std::size_t>(num_links), 0),
+      members_(static_cast<std::size_t>(num_links)) {
+  PAMR_ASSERT(num_links >= 0);
+  std::iota(order_.begin(), order_.end(), LinkId{0});
+  // The seed's first round: identity order stably sorted by the initial
+  // loads, so ties start out in LinkId order.
+  std::stable_sort(order_.begin(), order_.end(), [&loads](LinkId a, LinkId b) {
+    return loads.load(a) > loads.load(b);
+  });
+  for (std::size_t at = 0; at < order_.size(); ++at) {
+    pos_[static_cast<std::size_t>(order_[at])] = static_cast<std::int32_t>(at);
+  }
+  merge_scratch_.reserve(order_.size());
+}
+
+void LoadIndex::add_member(LinkId link, std::uint32_t comm) {
+  members_[static_cast<std::size_t>(link)].push_back(comm);
+}
+
+void LoadIndex::retire(LinkId link) {
+  retired_[static_cast<std::size_t>(link)] = 1;
+}
+
+void LoadIndex::reorder(const std::vector<LinkId>& changed, const LinkLoads& loads) {
+  // The changed links, re-sorted by (new load desc, previous position asc).
+  // Everything else keeps its relative order, which is exactly what the
+  // seed's stable_sort of the persistent order vector computes; merging the
+  // two sequences under the same comparator reproduces it bit for bit.
+  std::vector<LinkId>& resorted = resort_scratch_;
+  resorted.clear();
+  for (const LinkId link : changed) {
+    if (retired_[static_cast<std::size_t>(link)] != 0) continue;
+    changed_mark_[static_cast<std::size_t>(link)] = 1;
+    resorted.push_back(link);
+  }
+  const auto precedes = [&](LinkId a, LinkId b) {
+    const double la = loads.load(a);
+    const double lb = loads.load(b);
+    if (la != lb) return la > lb;
+    return pos_[static_cast<std::size_t>(a)] < pos_[static_cast<std::size_t>(b)];
+  };
+  std::sort(resorted.begin(), resorted.end(), precedes);
+
+  merge_scratch_.clear();
+  std::size_t next = 0;
+  for (const LinkId link : order_) {
+    if (changed_mark_[static_cast<std::size_t>(link)] != 0) continue;  // merged below
+    if (retired_[static_cast<std::size_t>(link)] != 0) continue;       // purged for good
+    while (next < resorted.size() && precedes(resorted[next], link)) {
+      merge_scratch_.push_back(resorted[next++]);
+    }
+    merge_scratch_.push_back(link);
+  }
+  while (next < resorted.size()) merge_scratch_.push_back(resorted[next++]);
+
+  order_.swap(merge_scratch_);
+  for (std::size_t at = 0; at < order_.size(); ++at) {
+    pos_[static_cast<std::size_t>(order_[at])] = static_cast<std::int32_t>(at);
+  }
+  for (const LinkId link : resorted) {
+    changed_mark_[static_cast<std::size_t>(link)] = 0;
+  }
+}
+
+}  // namespace pamr

@@ -1,0 +1,93 @@
+// Incremental removal index for the PR path remover (paper §5.5).
+//
+// PR's inner loop repeatedly asks one question — "which is the most loaded
+// link, and which is the heaviest communication still using it?" — while
+// each removal only changes a handful of link loads (the cuts of one
+// communication's rectangle). The seed implementation answered it from
+// scratch every time: a stable_sort of every mesh link followed by a scan
+// of every communication per link, O(L log L + nc) per removal.
+//
+// Crucially, the seed's sort is a *stable* sort of a persistent order
+// vector: equal-load links keep the relative order they had in the previous
+// round, so the effective tie-break is the whole load history (most recent
+// round where the two loads differed, higher first; LinkId only if they
+// never differed). Exact equal loads are common — every link of a cut
+// carries the same δ/m share — so this history is observable in the final
+// routing, and a plain (load, LinkId) priority queue does NOT reproduce it:
+// lazy heap entries pushed in different rounds cannot be compared under a
+// history-dependent order. LoadIndex therefore keeps the *materialized*
+// sorted order and updates it by merge:
+//
+//   stable_sort(order, by load)  ==  sort by (load desc, prev position asc)
+//
+// so after a removal the unchanged links (already in correct relative
+// order) are merged with the re-sorted changed links in O(L + K log K),
+// instead of re-sorting everything in O(L log L).
+//
+// The index also keeps a membership list per link — the indices of the
+// communications whose path DAG still contains the link, heaviest-first —
+// so the "largest communication using this link" scan is O(members)
+// instead of O(nc); lists are compacted lazily by the caller. Links whose
+// scan proves permanently unremovable are retire()d: they are skipped in
+// O(1) and purged from the order on the next rebuild (the caller's
+// monotonicity argument lives in path_remover.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/routing/link_loads.hpp"
+
+namespace pamr {
+
+class LoadIndex {
+ public:
+  /// Captures the seed's first round: the identity permutation stably
+  /// sorted by the initial loads (ties by LinkId).
+  LoadIndex(std::int32_t num_links, const LinkLoads& loads);
+
+  // ------------------------------------------------------- membership --
+  /// Appends `comm` to the link's member list. Call in heaviest-first
+  /// (order_by_decreasing_weight) order at construction time so the list
+  /// order matches the reference scan order.
+  void add_member(LinkId link, std::uint32_t comm);
+
+  /// Mutable member list, for the caller's lazy compaction during scans.
+  [[nodiscard]] std::vector<std::uint32_t>& members(LinkId link) {
+    return members_[static_cast<std::size_t>(link)];
+  }
+
+  // ------------------------------------------------------------ order --
+  /// Walk support: the current descending-load order. Retired links stay
+  /// in the order until the next reorder() purges them; skip them via
+  /// is_retired().
+  [[nodiscard]] std::size_t size() const noexcept { return order_.size(); }
+  [[nodiscard]] LinkId link_at(std::size_t at) const { return order_[at]; }
+
+  /// Marks a link permanently unremovable. It is skipped by callers and
+  /// dropped from the order on the next reorder(); any later load change
+  /// reported for it is ignored (its relative order can never matter
+  /// again).
+  void retire(LinkId link);
+  [[nodiscard]] bool is_retired(LinkId link) const {
+    return retired_[static_cast<std::size_t>(link)] != 0;
+  }
+
+  /// Re-establishes sorted order after one removal changed the stored
+  /// loads of `changed` (each currently in the order, unless retired;
+  /// duplicates not allowed). Exactly equivalent to the seed's
+  /// stable_sort of the persistent order vector by the new loads.
+  void reorder(const std::vector<LinkId>& changed, const LinkLoads& loads);
+
+ private:
+  std::vector<LinkId> order_;          ///< live links, (load desc, history) order
+  std::vector<std::int32_t> pos_;      ///< link -> index in order_ (stale once purged)
+  std::vector<char> retired_;          ///< link -> permanently unremovable
+  std::vector<char> changed_mark_;     ///< scratch: link is in `changed`
+  std::vector<LinkId> merge_scratch_;  ///< scratch: next order_ being built
+  std::vector<LinkId> resort_scratch_; ///< scratch: changed links, re-sorted
+  std::vector<std::vector<std::uint32_t>> members_;
+};
+
+}  // namespace pamr

@@ -17,11 +17,33 @@
 // The process stops when every communication retains a single path. Each
 // removal strictly shrinks the union of allowed links, so termination is
 // structural.
+//
+// Two implementations share the CommState machinery below:
+//
+//   * route_reference — the seed loop: every removal re-sorts all mesh
+//     links by load and rescans every communication, O(L log L + nc) per
+//     removal. Kept (selectable via Mode::kReference) as the ground truth
+//     for differential tests.
+//   * route_incremental (default) — answers "most loaded link, heaviest
+//     communication using it" from a LoadIndex: the materialized sorted
+//     order, merge-updated only for the links whose stored load actually
+//     changed, plus per-link heaviest-first membership lists. Links whose
+//     scan finds no removable member are retired permanently: every
+//     surviving member holds them in a singleton cut, cuts only shrink,
+//     and membership only dies, so such a link can never yield a removal
+//     again.
+//
+// Both order removals identically — most-loaded link first with the
+// seed's stable-history tie-break (see load_index.hpp), heaviest
+// communication first with ties by original index — and keep the load
+// array bit-identical at every decision point (see apply_spread_tracked),
+// so the routings they produce are bit-identical.
 #include <algorithm>
 #include <numeric>
 
 #include "pamr/mesh/rectangle.hpp"
 #include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/load_index.hpp"
 #include "pamr/routing/routers.hpp"
 #include "pamr/util/assert.hpp"
 #include "pamr/util/timer.hpp"
@@ -29,6 +51,41 @@
 namespace pamr {
 
 namespace {
+
+/// Reusable reachability buffers for CommState::prune: cells are marked
+/// with the current epoch instead of re-allocating (and re-zeroing) two
+/// per-core vectors on every removal, as the seed did.
+struct PruneScratch {
+  std::vector<std::uint64_t> forward;
+  std::vector<std::uint64_t> backward;
+  std::uint64_t epoch = 0;
+
+  explicit PruneScratch(std::size_t num_cores)
+      : forward(num_cores, 0), backward(num_cores, 0) {}
+};
+
+/// First-touch snapshots of stored link loads across one removal, so the
+/// incremental loop can re-index exactly the links whose value changed.
+struct TouchLog {
+  std::vector<LinkId> links;
+  std::vector<double> before;
+  std::vector<char> seen;  ///< indexed by LinkId
+
+  explicit TouchLog(std::size_t num_links) : seen(num_links, 0) {}
+
+  void record(LinkId link, double load) {
+    if (seen[static_cast<std::size_t>(link)] != 0) return;
+    seen[static_cast<std::size_t>(link)] = 1;
+    links.push_back(link);
+    before.push_back(load);
+  }
+
+  void clear() {
+    for (const LinkId link : links) seen[static_cast<std::size_t>(link)] = 0;
+    links.clear();
+    before.clear();
+  }
+};
 
 /// Per-communication path-DAG state.
 struct CommState {
@@ -64,37 +121,57 @@ struct CommState {
     }
   }
 
+  /// apply_spread plus first-touch snapshots into `log`. The arithmetic —
+  /// cut iteration order, shares, signs — is exactly apply_spread's: the
+  /// incremental mode must reproduce the reference's floating-point state
+  /// bit for bit (IEEE addition is not associative, so even an unchanged
+  /// cut's -share/+share round trip can perturb a stored load by an ulp,
+  /// and the reference's next sort sees the perturbed value).
+  void apply_spread_tracked(double weight, LinkLoads& loads, TouchLog& log) const {
+    for (const auto& cut : cuts) {
+      PAMR_ASSERT(!cut.empty());
+      const double share = weight / static_cast<double>(cut.size());
+      for (const LinkId link : cut) {
+        log.record(link, loads.load(link));
+        loads.add(link, share);
+      }
+    }
+  }
+
   /// Rebuilds `cuts` from `allowed`, dropping links that are not on any
   /// surviving src→snk path (forward ∩ backward reachability over depths).
-  void prune(const Mesh& mesh) {
+  void prune(const Mesh& mesh, PruneScratch& scratch) {
     const std::int32_t len = rect.length();
     if (len == 0) return;
+    const std::uint64_t epoch = ++scratch.epoch;
     // Reachability per cell, keyed by depth-local enumeration.
     auto cell_key = [&](Coord c) {
       return static_cast<std::size_t>(mesh.core_index(c));
     };
-    std::vector<char> forward(static_cast<std::size_t>(mesh.num_cores()), 0);
-    forward[cell_key(rect.src())] = 1;
+    scratch.forward[cell_key(rect.src())] = epoch;
     for (std::int32_t t = 0; t < len; ++t) {
       for (const LinkId link : cuts[static_cast<std::size_t>(t)]) {
         const LinkInfo& info = mesh.link(link);
-        if (forward[cell_key(info.from)] != 0) forward[cell_key(info.to)] = 1;
+        if (scratch.forward[cell_key(info.from)] == epoch) {
+          scratch.forward[cell_key(info.to)] = epoch;
+        }
       }
     }
-    std::vector<char> backward(static_cast<std::size_t>(mesh.num_cores()), 0);
-    backward[cell_key(rect.snk())] = 1;
+    scratch.backward[cell_key(rect.snk())] = epoch;
     for (std::int32_t t = len - 1; t >= 0; --t) {
       for (const LinkId link : cuts[static_cast<std::size_t>(t)]) {
         const LinkInfo& info = mesh.link(link);
-        if (backward[cell_key(info.to)] != 0) backward[cell_key(info.from)] = 1;
+        if (scratch.backward[cell_key(info.to)] == epoch) {
+          scratch.backward[cell_key(info.from)] = epoch;
+        }
       }
     }
     for (auto& cut : cuts) {
       std::erase_if(cut, [&](LinkId link) {
         const LinkInfo& info = mesh.link(link);
         const bool alive = allowed[static_cast<std::size_t>(link)] != 0 &&
-                           forward[cell_key(info.from)] != 0 &&
-                           backward[cell_key(info.to)] != 0;
+                           scratch.forward[cell_key(info.from)] == epoch &&
+                           scratch.backward[cell_key(info.to)] == epoch;
         if (!alive) allowed[static_cast<std::size_t>(link)] = 0;
         return !alive;
       });
@@ -121,19 +198,135 @@ struct CommState {
   }
 };
 
-}  // namespace
-
-RouteResult PathRemoverRouter::route(const Mesh& mesh, const CommSet& comms,
-                                     const PowerModel& model) const {
-  const WallTimer timer;
-  LinkLoads loads(mesh);
-
+/// Builds the initial per-communication spread states onto `loads`.
+std::vector<CommState> make_states(const Mesh& mesh, const CommSet& comms,
+                                   LinkLoads& loads) {
   std::vector<CommState> states;
   states.reserve(comms.size());
   for (const Communication& comm : comms) {
     states.emplace_back(mesh, comm);
     states.back().apply_spread(comm.weight, loads);
   }
+  return states;
+}
+
+std::size_t count_multi_path(const std::vector<CommState>& states) {
+  std::size_t active = 0;
+  for (const auto& state : states) {
+    if (!state.is_single_path()) ++active;
+  }
+  return active;
+}
+
+std::vector<Path> extract_paths(const Mesh& mesh,
+                                const std::vector<CommState>& states) {
+  std::vector<Path> paths;
+  paths.reserve(states.size());
+  for (const auto& state : states) paths.push_back(state.extract_path(mesh));
+  return paths;
+}
+
+}  // namespace
+
+RouteResult PathRemoverRouter::route_impl(const Mesh& mesh, const CommSet& comms,
+                                          const PowerModel& model) const {
+  return mode_ == Mode::kReference ? route_reference(mesh, comms, model)
+                                   : route_incremental(mesh, comms, model);
+}
+
+RouteResult PathRemoverRouter::route_incremental(const Mesh& mesh,
+                                                 const CommSet& comms,
+                                                 const PowerModel& model) const {
+  const WallTimer timer;
+  LinkLoads loads(mesh);
+  std::vector<CommState> states = make_states(mesh, comms, loads);
+
+  // Heaviest-first candidate order within a link (paper: "the largest
+  // communication that uses this link"): member lists are filled in
+  // by_weight order, so each list stays heaviest-first under compaction.
+  const std::vector<std::size_t> by_weight = order_by_decreasing_weight(comms);
+
+  LoadIndex index(mesh.num_links(), loads);
+  for (const std::size_t idx : by_weight) {
+    for (const auto& cut : states[idx].cuts) {
+      for (const LinkId link : cut) {
+        index.add_member(link, static_cast<std::uint32_t>(idx));
+      }
+    }
+  }
+
+  std::size_t active = count_multi_path(states);
+  PruneScratch scratch(static_cast<std::size_t>(mesh.num_cores()));
+  TouchLog log(static_cast<std::size_t>(mesh.num_links()));
+  std::vector<LinkId> changed;
+
+  const std::size_t none = states.size();
+  while (active > 0) {
+    // Selection: walk the maintained (load desc, stable history) order;
+    // the first link with a member whose cut keeps ≥ 2 links is exactly
+    // the reference's choice.
+    LinkId link = kInvalidLink;
+    std::size_t chosen = none;
+    std::int32_t depth = -1;
+    for (std::size_t at = 0; at < index.size(); ++at) {
+      const LinkId cand = index.link_at(at);
+      if (index.is_retired(cand)) continue;
+      if (loads.load(cand) <= 0.0) break;  // same early break as the reference
+      const Coord tail = mesh.link(cand).from;
+      auto& members = index.members(cand);
+      std::size_t keep = 0;
+      for (const std::uint32_t idx : members) {
+        CommState& state = states[idx];
+        if (state.allowed[static_cast<std::size_t>(cand)] == 0) continue;  // compact away
+        members[keep++] = idx;
+        if (chosen != none) continue;  // found earlier; just finish compacting
+        const std::int32_t t = state.rect.depth(tail);
+        PAMR_ASSERT(t >= 0);
+        if (state.cuts[static_cast<std::size_t>(t)].size() >= 2) {
+          chosen = idx;
+          depth = t;
+        }
+      }
+      members.resize(keep);
+      if (chosen != none) {
+        link = cand;
+        break;
+      }
+      // Every surviving member holds this link in a singleton cut, so it
+      // can never be removed from anyone again: retire it instead of
+      // rescanning it every round as the reference does (its position in
+      // the order can no longer influence any decision).
+      index.retire(cand);
+    }
+    PAMR_ASSERT_MSG(link != kInvalidLink,
+                    "no removable link found while communications remain multi-path");
+
+    CommState& state = states[chosen];
+    const double weight = comms[chosen].weight;
+    state.apply_spread_tracked(-weight, loads, log);
+    state.allowed[static_cast<std::size_t>(link)] = 0;
+    std::erase(state.cuts[static_cast<std::size_t>(depth)], link);
+    state.prune(mesh, scratch);
+    state.apply_spread_tracked(weight, loads, log);
+    changed.clear();
+    for (std::size_t i = 0; i < log.links.size(); ++i) {
+      if (loads.load(log.links[i]) != log.before[i]) changed.push_back(log.links[i]);
+    }
+    index.reorder(changed, loads);
+    log.clear();
+    if (state.is_single_path()) --active;
+  }
+
+  return finish(mesh, comms, model,
+                make_single_path_routing(comms, extract_paths(mesh, states)),
+                timer.elapsed_ms());
+}
+
+RouteResult PathRemoverRouter::route_reference(const Mesh& mesh, const CommSet& comms,
+                                               const PowerModel& model) const {
+  const WallTimer timer;
+  LinkLoads loads(mesh);
+  std::vector<CommState> states = make_states(mesh, comms, loads);
 
   // Heaviest-first candidate order within a link (paper: "the largest
   // communication that uses this link").
@@ -142,10 +335,8 @@ RouteResult PathRemoverRouter::route(const Mesh& mesh, const CommSet& comms,
   std::vector<LinkId> order(static_cast<std::size_t>(mesh.num_links()));
   std::iota(order.begin(), order.end(), LinkId{0});
 
-  std::size_t active = 0;
-  for (const auto& state : states) {
-    if (!state.is_single_path()) ++active;
-  }
+  std::size_t active = count_multi_path(states);
+  PruneScratch scratch(static_cast<std::size_t>(mesh.num_cores()));
 
   while (active > 0) {
     std::stable_sort(order.begin(), order.end(), [&loads](LinkId a, LinkId b) {
@@ -172,7 +363,7 @@ RouteResult PathRemoverRouter::route(const Mesh& mesh, const CommSet& comms,
         state.apply_spread(-comms[index].weight, loads);
         state.allowed[static_cast<std::size_t>(link)] = 0;
         std::erase(cut, link);
-        state.prune(mesh);
+        state.prune(mesh, scratch);
         state.apply_spread(comms[index].weight, loads);
         if (state.is_single_path()) --active;
         removed = true;
@@ -184,10 +375,8 @@ RouteResult PathRemoverRouter::route(const Mesh& mesh, const CommSet& comms,
                     "no removable link found while communications remain multi-path");
   }
 
-  std::vector<Path> paths;
-  paths.reserve(comms.size());
-  for (const auto& state : states) paths.push_back(state.extract_path(mesh));
-  return finish(mesh, comms, model, make_single_path_routing(comms, std::move(paths)),
+  return finish(mesh, comms, model,
+                make_single_path_routing(comms, extract_paths(mesh, states)),
                 timer.elapsed_ms());
 }
 

@@ -12,7 +12,7 @@
 
 namespace pamr {
 
-RouteResult RipUpRerouteRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult RipUpRerouteRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                                       const PowerModel& model) const {
   const WallTimer timer;
   const LoadCost cost(model);

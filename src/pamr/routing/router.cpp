@@ -24,6 +24,12 @@ std::vector<RouterKind> all_base_routers() {
           RouterKind::kTB, RouterKind::kXYI, RouterKind::kPR};
 }
 
+RouteResult Router::route(const Mesh& mesh, const CommSet& comms,
+                          const PowerModel& model) const {
+  check_comm_set(mesh, comms);
+  return route_impl(mesh, comms, model);
+}
+
 RouteResult Router::finish(const Mesh& mesh, const CommSet& comms,
                            const PowerModel& model, Routing routing,
                            double elapsed_ms) {

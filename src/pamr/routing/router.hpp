@@ -49,12 +49,20 @@ class Router {
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 
-  /// Builds a routing for `comms` on `mesh` under `model`. Implementations
-  /// must be deterministic functions of their arguments.
-  [[nodiscard]] virtual RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                          const PowerModel& model) const = 0;
+  /// Builds a routing for `comms` on `mesh` under `model`. Validates the
+  /// communication set first (check_comm_set): malformed user input —
+  /// non-finite or non-positive weights, out-of-bounds or coincident
+  /// endpoints — throws std::logic_error before any heuristic work, for
+  /// every policy. Implementations must be deterministic functions of
+  /// their arguments.
+  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
+                                  const PowerModel& model) const;
 
  protected:
+  /// Policy body; `comms` has already passed check_comm_set.
+  [[nodiscard]] virtual RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                               const PowerModel& model) const = 0;
+
   /// Shared epilogue: validates, evaluates power and stamps the result.
   [[nodiscard]] static RouteResult finish(const Mesh& mesh, const CommSet& comms,
                                           const PowerModel& model, Routing routing,

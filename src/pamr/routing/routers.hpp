@@ -3,6 +3,8 @@
 // summarized in DESIGN.md §3.
 #pragma once
 
+#include <cstdint>
+
 #include "pamr/routing/router.hpp"
 
 namespace pamr {
@@ -11,8 +13,10 @@ namespace pamr {
 class XYRouter final : public Router {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "XY"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 };
 
 /// SG — simple greedy (§5.1): communications by decreasing weight, path
@@ -21,8 +25,10 @@ class XYRouter final : public Router {
 class SimpleGreedyRouter final : public Router {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "SG"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 };
 
 /// IG — improved greedy (§5.2): virtual diagonal-spread pre-routing, then
@@ -30,8 +36,10 @@ class SimpleGreedyRouter final : public Router {
 class ImprovedGreedyRouter final : public Router {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "IG"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 };
 
 /// TB — two-bend (§5.3): evaluates every Manhattan path with at most two
@@ -39,8 +47,10 @@ class ImprovedGreedyRouter final : public Router {
 class TwoBendRouter final : public Router {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "TB"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 };
 
 /// XYI — XY improver (§5.4): local search from the XY routing, unloading
@@ -48,8 +58,10 @@ class TwoBendRouter final : public Router {
 class XYImproverRouter final : public Router {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "XYI"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 };
 
 /// PR — path remover (§5.5): starts from the all-paths virtual spread and
@@ -57,9 +69,33 @@ class XYImproverRouter final : public Router {
 /// single path.
 class PathRemoverRouter final : public Router {
  public:
+  /// Implementation selector. kIncremental drives the removal loop through
+  /// the LoadIndex (merge-maintained sorted order + per-link membership
+  /// lists) and is the default; kReference is the seed's loop — a full
+  /// stable_sort of every mesh link and a rescan of every communication
+  /// per removal — kept for differential testing. Both produce
+  /// bit-identical routings: most-loaded link first with the seed's
+  /// stable-history tie-break (see load_index.hpp), heaviest communication
+  /// first with ties by original index.
+  enum class Mode : std::uint8_t { kIncremental, kReference };
+
+  explicit PathRemoverRouter(Mode mode = Mode::kIncremental) noexcept
+      : mode_(mode) {}
+
   [[nodiscard]] const char* name() const noexcept override { return "PR"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
+
+ private:
+  [[nodiscard]] RouteResult route_incremental(const Mesh& mesh, const CommSet& comms,
+                                              const PowerModel& model) const;
+  [[nodiscard]] RouteResult route_reference(const Mesh& mesh, const CommSet& comms,
+                                            const PowerModel& model) const;
+
+  Mode mode_;
 };
 
 /// BEST (§6): runs all six base policies and returns the valid result with
@@ -67,8 +103,10 @@ class PathRemoverRouter final : public Router {
 class BestRouter final : public Router {
  public:
   [[nodiscard]] const char* name() const noexcept override { return "BEST"; }
-  [[nodiscard]] RouteResult route(const Mesh& mesh, const CommSet& comms,
-                                  const PowerModel& model) const override;
+
+ protected:
+  [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
+                                       const PowerModel& model) const override;
 };
 
 }  // namespace pamr

@@ -35,7 +35,7 @@ std::int64_t diagonal_deviation(Coord src, Coord snk, Coord c) noexcept {
 
 }  // namespace
 
-RouteResult SimpleGreedyRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult SimpleGreedyRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                                       const PowerModel& model) const {
   (void)model;  // SG looks only at loads, not at powers.
   const WallTimer timer;

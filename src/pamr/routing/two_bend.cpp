@@ -81,7 +81,7 @@ std::vector<Path> two_bend_paths(const Mesh& mesh, Coord src, Coord snk) {
 
 }  // namespace
 
-RouteResult TwoBendRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult TwoBendRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                                  const PowerModel& model) const {
   const WallTimer timer;
   const LoadCost cost(model);

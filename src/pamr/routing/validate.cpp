@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "pamr/routing/link_loads.hpp"
+#include "pamr/util/assert.hpp"
 
 namespace pamr {
 
@@ -70,6 +71,22 @@ ValidationResult validate_routing(const Mesh& mesh, const CommSet& comms,
     }
   }
   return ValidationResult{true, {}};
+}
+
+void check_comm_set(const Mesh& mesh, const CommSet& comms) {
+  for (std::size_t i = 0; i < comms.size(); ++i) {
+    const Communication& comm = comms[i];
+    // The message expressions below are only evaluated on failure, so the
+    // happy path allocates nothing.
+    const auto tag = [&] {
+      return "communication #" + std::to_string(i) + " " + to_string(comm);
+    };
+    PAMR_CHECK(mesh.contains(comm.src), tag() + ": source outside the mesh");
+    PAMR_CHECK(mesh.contains(comm.snk), tag() + ": sink outside the mesh");
+    PAMR_CHECK(comm.src != comm.snk, tag() + ": self-communication (src == snk)");
+    PAMR_CHECK(std::isfinite(comm.weight) && comm.weight > 0.0,
+               tag() + ": weight must be finite and strictly positive");
+  }
 }
 
 }  // namespace pamr

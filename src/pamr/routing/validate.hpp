@@ -38,4 +38,11 @@ struct ValidationResult {
                                                   const Routing& routing,
                                                   std::size_t max_paths = 1);
 
+/// Input validation for the public routing boundary (Router::route): every
+/// communication must have in-bounds endpoints, distinct src and snk, and a
+/// finite, strictly positive weight. Throws std::logic_error (via
+/// PAMR_CHECK) naming the offending communication; does nothing on a valid
+/// set. An empty CommSet is valid.
+void check_comm_set(const Mesh& mesh, const CommSet& comms);
+
 }  // namespace pamr

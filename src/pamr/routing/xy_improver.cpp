@@ -87,7 +87,7 @@ bool step_is_vertical(const std::vector<Coord>& cores, std::size_t k) {
 
 }  // namespace
 
-RouteResult XYImproverRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult XYImproverRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                                     const PowerModel& model) const {
   const WallTimer timer;
   const LoadCost cost(model);

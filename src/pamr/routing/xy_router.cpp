@@ -6,7 +6,7 @@
 
 namespace pamr {
 
-RouteResult XYRouter::route(const Mesh& mesh, const CommSet& comms,
+RouteResult XYRouter::route_impl(const Mesh& mesh, const CommSet& comms,
                             const PowerModel& model) const {
   const WallTimer timer;
   std::vector<Path> paths;

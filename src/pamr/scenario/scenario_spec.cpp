@@ -112,6 +112,13 @@ TrafficPattern* find_pattern(std::string_view name, TrafficPattern& storage) {
 /// bit-identical to a direct call.
 void scale_weights(CommSet& comms, double scale) {
   if (scale == 1.0) return;
+  if (scale == 0.0) {
+    // An idle phase produces no traffic. Zero-weight communications are
+    // not a degenerate routing input (Router::route rejects them via
+    // check_comm_set) — they are the absence of communications.
+    comms.clear();
+    return;
+  }
   for (Communication& comm : comms) comm.weight *= scale;
 }
 

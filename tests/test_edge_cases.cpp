@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <tuple>
 
 #include "pamr/comm/generator.hpp"
@@ -235,6 +236,86 @@ INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep, ::testing::Values(2.1, 2.5, 2.95, 3
                            const int millis =
                                static_cast<int>(param_info.param * 100 + 0.5);
                            return "alpha_" + std::to_string(millis);
+                         });
+
+// ------------------------------------------------------ malformed input --
+//
+// Router::route validates the CommSet up front (check_comm_set): malformed
+// user input throws std::logic_error before any heuristic work, for every
+// policy. Historically a zero-weight communication made PR trip an
+// internal PAMR_ASSERT ("no removable link found while communications
+// remain multi-path") and abort the process, because the removal scan's
+// load <= 0 early-break skips every zero-load link.
+
+std::vector<RouterKind> all_routers_and_best() {
+  std::vector<RouterKind> kinds = all_base_routers();
+  kinds.push_back(RouterKind::kBest);
+  return kinds;
+}
+
+class MalformedInput : public ::testing::TestWithParam<RouterKind> {
+ protected:
+  static void expect_throws(const Mesh& mesh, const CommSet& comms) {
+    const PowerModel model = PowerModel::paper_discrete();
+    EXPECT_THROW(
+        { (void)make_router(GetParam())->route(mesh, comms, model); },
+        std::logic_error)
+        << to_cstring(GetParam());
+  }
+};
+
+TEST_P(MalformedInput, EmptyCommSetRoutesTrivially) {
+  const Mesh mesh(4, 4);
+  const PowerModel model = PowerModel::paper_discrete();
+  const RouteResult result = make_router(GetParam())->route(mesh, {}, model);
+  ASSERT_TRUE(result.routing.has_value()) << to_cstring(GetParam());
+  EXPECT_EQ(result.routing->num_comms(), 0u);
+}
+
+TEST_P(MalformedInput, ZeroWeightThrows) {
+  // The historical abort repro: a single C(0,0)→C(3,3) at weight 0 on 4×4.
+  expect_throws(Mesh(4, 4), {{{0, 0}, {3, 3}, 0.0}});
+}
+
+TEST_P(MalformedInput, NegativeWeightThrows) {
+  expect_throws(Mesh(4, 4), {{{0, 0}, {2, 3}, -125.0}});
+}
+
+TEST_P(MalformedInput, NanWeightThrows) {
+  expect_throws(Mesh(4, 4), {{{0, 0}, {2, 3}, std::nan("")}});
+}
+
+TEST_P(MalformedInput, InfiniteWeightThrows) {
+  expect_throws(Mesh(4, 4), {{{0, 0}, {2, 3}, std::numeric_limits<double>::infinity()}});
+}
+
+TEST_P(MalformedInput, SelfCommunicationThrows) {
+  expect_throws(Mesh(4, 4), {{{1, 2}, {1, 2}, 500.0}});
+}
+
+TEST_P(MalformedInput, OutOfBoundsEndpointsThrow) {
+  expect_throws(Mesh(4, 4), {{{4, 0}, {0, 0}, 500.0}});   // src row past p
+  expect_throws(Mesh(4, 4), {{{0, 0}, {0, -1}, 500.0}});  // snk column negative
+}
+
+TEST_P(MalformedInput, InvalidInputOnDegenerateMeshesThrows) {
+  // 1×N and N×1 meshes share the validation path with square ones.
+  expect_throws(Mesh(1, 8), {{{0, 1}, {0, 6}, 0.0}});
+  expect_throws(Mesh(8, 1), {{{2, 0}, {2, 0}, 300.0}});
+}
+
+TEST_P(MalformedInput, OneBadCommunicationAmongGoodOnesThrows) {
+  // Validation runs before any heuristic work, so a single malformed entry
+  // rejects the whole set.
+  expect_throws(Mesh(4, 4), {{{0, 0}, {3, 3}, 800.0},
+                             {{1, 0}, {2, 2}, 0.0},
+                             {{0, 3}, {3, 0}, 400.0}});
+}
+
+INSTANTIATE_TEST_SUITE_P(Routers, MalformedInput,
+                         ::testing::ValuesIn(all_routers_and_best()),
+                         [](const ::testing::TestParamInfo<RouterKind>& param_info) {
+                           return std::string(to_cstring(param_info.param));
                          });
 
 TEST(SplitEdge, SplitOnStraightLineMergesToOnePath) {

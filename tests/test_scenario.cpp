@@ -58,6 +58,26 @@ TEST(Envelope, RoundTripAndErrors) {
   }
 }
 
+TEST(Spec, ZeroScalePhaseGeneratesNoTraffic) {
+  // An idle (scale 0) envelope phase must yield an *empty* CommSet, not
+  // zero-weight communications — Router::route rejects those as malformed
+  // input (check_comm_set).
+  ScenarioSpec spec;
+  std::string error;
+  ASSERT_TRUE(ScenarioSpec::parse(
+      "mesh=4x4 model=discrete ; kind=uniform n=12 lo=100 hi=900"
+      " envelope=burst:0:2:0.25",
+      spec, error))
+      << error;
+  const Mesh mesh = spec.make_mesh();
+  Rng off_rng(7);
+  const CommSet off = spec.generate(mesh, 0.5, off_rng);  // past the duty window
+  EXPECT_TRUE(off.empty());
+  Rng on_rng(7);
+  const CommSet on = spec.generate(mesh, 0.1, on_rng);  // inside the duty window
+  EXPECT_EQ(on.size(), 12u);
+}
+
 TEST(Spec, RoundTripsEveryRegistryPoint) {
   for (const Scenario& scenario : ScenarioRegistry::builtin().scenarios()) {
     for (const ScenarioPoint& point : scenario.points) {

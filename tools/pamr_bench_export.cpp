@@ -1,0 +1,113 @@
+// Perf-trajectory exporter: times the micro_heuristics matrix with plain
+// wall clocks and dumps one JSON document, so every PR can regenerate a
+// comparable baseline (BENCH_2.json in the repo root is the one recorded
+// when the incremental PR removal loop landed).
+//
+//   $ pamr_bench_export --out BENCH_2.json [--reps 5] [--quick]
+//
+// The matrix comes from pamr/bench/heuristics_matrix.hpp — the same
+// meshes, comm counts, router sets and generator stream as
+// bench/micro_heuristics — so google-benchmark numbers and this export
+// are directly comparable. Per point the median of --reps runs is
+// reported (medians are robust against scheduler noise on shared CI
+// runners). --quick drops the 32×32 points for sub-second smoke runs.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "pamr/bench/heuristics_matrix.hpp"
+#include "pamr/util/args.hpp"
+#include "pamr/util/timer.hpp"
+
+namespace {
+
+using namespace pamr;
+
+std::string json_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser parser("pamr_bench_export",
+                   "time the micro_heuristics matrix and export JSON");
+  parser.add_string("out", "BENCH_2.json", "output path ('-' for stdout)");
+  parser.add_int("reps", 5, "timed repetitions per point (median reported)");
+  parser.add_flag("quick", "skip the 32x32 points");
+  int exit_code = 0;
+  if (!parser.parse(argc, argv, exit_code)) return exit_code;
+
+  const auto reps = static_cast<std::size_t>(std::max<std::int64_t>(
+      1, parser.get_int("reps")));
+  const bool quick = parser.get_flag("quick");
+  const PowerModel model = PowerModel::paper_discrete();
+
+  std::vector<std::string> rows;
+  for (const bench::MeshCase& mesh_case : bench::heuristics_matrix()) {
+    if (quick && std::strcmp(mesh_case.prefix, "route32") == 0) continue;
+    const Mesh mesh(mesh_case.p, mesh_case.q);
+    for (const RouterKind kind : mesh_case.kinds) {
+      const auto router = make_router(kind);
+      for (const std::int32_t nc : mesh_case.num_comms) {
+        const CommSet comms = bench::heuristics_workload(mesh, nc);
+
+        RouteResult result = router->route(mesh, comms, model);  // warm-up
+        std::vector<double> times_ms;
+        times_ms.reserve(reps);
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const WallTimer timer;
+          result = router->route(mesh, comms, model);
+          times_ms.push_back(timer.elapsed_ms());
+        }
+        std::sort(times_ms.begin(), times_ms.end());
+        const double median = times_ms[times_ms.size() / 2];
+
+        rows.push_back(
+            "    {\"bench\": \"" + std::string(mesh_case.prefix) + "/" +
+            to_cstring(kind) + "/" + std::to_string(nc) + "\", \"mesh\": \"" +
+            std::to_string(mesh_case.p) + "x" + std::to_string(mesh_case.q) +
+            "\", \"nc\": " + std::to_string(nc) + ", \"router\": \"" +
+            to_cstring(kind) + "\", \"median_ms\": " + json_double(median) +
+            ", \"min_ms\": " + json_double(times_ms.front()) +
+            ", \"valid\": " + (result.valid ? "true" : "false") +
+            ", \"power\": " + json_double(result.valid ? result.power : 0.0) +
+            "}");
+        std::fprintf(stderr, "%-7s %5dx%-5d nc=%-5d %8.3f ms\n",
+                     to_cstring(kind), mesh_case.p, mesh_case.q, nc, median);
+      }
+    }
+  }
+
+  std::string json;
+  json += "{\n";
+  json += "  \"schema\": \"pamr-bench/2\",\n";
+  json += "  \"generator\": {\"seed\": " + std::to_string(bench::kWorkloadSeed) +
+          ", \"weight_lo\": " + json_double(bench::kWeightLo) +
+          ", \"weight_hi\": " + json_double(bench::kWeightHi) + "},\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    json += rows[i] + (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  json += "  ]\n}\n";
+
+  const std::string& out = parser.get_string("out");
+  if (out == "-") {
+    std::printf("%s", json.c_str());
+    return 0;
+  }
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "cannot open '%s' for writing\n", out.c_str());
+    return 1;
+  }
+  file << json;
+  std::fprintf(stderr, "wrote %s (%zu points)\n", out.c_str(), rows.size());
+  return 0;
+}
