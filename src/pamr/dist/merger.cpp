@@ -1,0 +1,55 @@
+#include "pamr/dist/merger.hpp"
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+namespace dist {
+
+ResultMerger::ResultMerger(const CampaignPlan& plan)
+    : plan_(&plan), parts_(plan.units.size()), present_(plan.units.size(), 0) {}
+
+bool ResultMerger::add(std::uint64_t unit_id, std::string_view aggregate,
+                       std::string& error) {
+  if (unit_id >= parts_.size()) {
+    error = "unit id " + std::to_string(unit_id) + " outside the plan's " +
+            std::to_string(parts_.size()) + " units";
+    return false;
+  }
+  if (present_[unit_id] != 0) {
+    error = "duplicate result for unit " + std::to_string(unit_id);
+    return false;
+  }
+  exp::PointAggregate parsed;
+  if (!exp::parse_point_aggregate(aggregate, parsed, error)) {
+    error = "unit " + std::to_string(unit_id) + ": " + error;
+    return false;
+  }
+  const WorkUnit& unit = plan_->units[unit_id];
+  if (parsed.instances != unit.unit.end - unit.unit.begin) {
+    error = "unit " + std::to_string(unit_id) + " aggregate covers " +
+            std::to_string(parsed.instances) + " instances, expected " +
+            std::to_string(unit.unit.end - unit.unit.begin);
+    return false;
+  }
+  parts_[unit_id] = parsed;
+  present_[unit_id] = 1;
+  ++have_;
+  return true;
+}
+
+const exp::PointAggregate& ResultMerger::partial(std::uint64_t unit_id) const {
+  PAMR_CHECK(unit_id < parts_.size() && present_[unit_id] != 0,
+             "no result recorded for this unit");
+  return parts_[unit_id];
+}
+
+std::vector<scenario::ScenarioResult> ResultMerger::merge() const {
+  PAMR_CHECK(complete(), "cannot merge an incomplete campaign");
+  std::vector<scenario::SuiteUnit> units;
+  units.reserve(plan_->units.size());
+  for (const WorkUnit& unit : plan_->units) units.push_back(unit.unit);
+  return scenario::fold_suite_units(plan_->entries, units, parts_);
+}
+
+}  // namespace dist
+}  // namespace pamr

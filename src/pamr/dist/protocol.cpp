@@ -1,0 +1,284 @@
+#include "pamr/dist/protocol.hpp"
+
+#include <cinttypes>
+
+#include "pamr/util/assert.hpp"
+#include "pamr/util/string_util.hpp"
+
+namespace pamr {
+namespace dist {
+
+namespace {
+
+constexpr std::string_view kEnd = "end";
+
+bool line_clean(std::string_view text) noexcept {
+  return text.find('\n') == std::string_view::npos;
+}
+
+bool parse_field_u64(const Message& message, std::string_view key, std::uint64_t& out,
+                     std::string& error) {
+  const std::string* value = message.find(key);
+  std::int64_t parsed = 0;
+  if (value == nullptr || !parse_int64(*value, parsed) || parsed < 0) {
+    error = "message '" + message.type + "' needs a non-negative integer '" +
+            std::string(key) + "' field";
+    return false;
+  }
+  out = static_cast<std::uint64_t>(parsed);
+  return true;
+}
+
+}  // namespace
+
+const std::string* Message::find(std::string_view key) const noexcept {
+  for (const auto& [name, value] : fields) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+std::string to_wire(const Message& message) {
+  PAMR_ASSERT_MSG(!message.type.empty() && line_clean(message.type) &&
+                      message.type.find('=') == std::string::npos &&
+                      message.type != kEnd,
+                  "malformed message type");
+  std::string out = message.type + "\n";
+  for (const auto& [key, value] : message.fields) {
+    PAMR_ASSERT_MSG(!key.empty() && line_clean(key) &&
+                        key.find('=') == std::string::npos && line_clean(value),
+                    "malformed message field");
+    out += key;
+    out += '=';
+    out += value;
+    out += '\n';
+  }
+  out += kEnd;
+  out += '\n';
+  return out;
+}
+
+namespace {
+
+/// Consumes one line (without the '\n'). Returns false on EOF with nothing
+/// read; a final unterminated line is returned as-is.
+bool read_line(std::FILE* in, std::string& line) {
+  line.clear();
+  int c;
+  while ((c = std::fgetc(in)) != EOF) {
+    if (c == '\n') return true;
+    line += static_cast<char>(c);
+  }
+  return !line.empty();
+}
+
+/// Feeds one line into an under-construction message. Returns true when the
+/// message is complete.
+bool feed_line(std::string_view line, Message& current, bool& in_message,
+               std::string& error) {
+  if (!in_message) {
+    if (line.empty()) return false;  // tolerate blank separators
+    if (line == kEnd || line.find('=') != std::string_view::npos) {
+      error = "expected a message type line, got '" + std::string(line) + "'";
+      return false;
+    }
+    current = Message{std::string(line), {}};
+    in_message = true;
+    return false;
+  }
+  if (line == kEnd) {
+    in_message = false;
+    return true;
+  }
+  const std::size_t eq = line.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    error = "expected key=value or 'end' inside message '" + current.type + "'";
+    return false;
+  }
+  current.fields.emplace_back(std::string(line.substr(0, eq)),
+                              std::string(line.substr(eq + 1)));
+  return false;
+}
+
+}  // namespace
+
+bool read_message(std::FILE* in, Message& out, std::string& error) {
+  error.clear();
+  Message current;
+  bool in_message = false;
+  std::string line;
+  while (read_line(in, line)) {
+    if (feed_line(line, current, in_message, error)) {
+      out = std::move(current);
+      return true;
+    }
+    if (!error.empty()) return false;
+  }
+  if (in_message) error = "EOF inside message '" + current.type + "'";
+  return false;
+}
+
+bool MessageAssembler::feed(std::string_view bytes, std::vector<Message>& out,
+                            std::string& error) {
+  error.clear();
+  partial_ += bytes;
+  std::size_t start = 0;
+  for (std::size_t nl; (nl = partial_.find('\n', start)) != std::string::npos;
+       start = nl + 1) {
+    const std::string_view line(partial_.data() + start, nl - start);
+    if (feed_line(line, current_, in_message_, error)) {
+      out.push_back(std::move(current_));
+      current_ = Message{};
+    }
+    if (!error.empty()) return false;
+  }
+  partial_.erase(0, start);
+  return true;
+}
+
+// -- Typed messages ---------------------------------------------------------
+
+Message WorkUnit::to_message() const {
+  return Message{"unit",
+                 {{"id", std::to_string(id)},
+                  {"scenario", scenario},
+                  {"point", std::to_string(unit.point_index)},
+                  {"begin", std::to_string(unit.begin)},
+                  {"to", std::to_string(unit.end)},
+                  {"instances", std::to_string(instances)},
+                  {"seed", std::to_string(seed)},
+                  {"spec", spec}}};
+}
+
+bool parse_work_unit(const Message& message, WorkUnit& out, std::string& error) {
+  if (message.type != "unit") {
+    error = "expected a 'unit' message, got '" + message.type + "'";
+    return false;
+  }
+  WorkUnit parsed;
+  std::uint64_t point = 0, begin = 0, end = 0, instances = 0;
+  if (!parse_field_u64(message, "id", parsed.id, error) ||
+      !parse_field_u64(message, "point", point, error) ||
+      !parse_field_u64(message, "begin", begin, error) ||
+      !parse_field_u64(message, "to", end, error) ||
+      !parse_field_u64(message, "instances", instances, error) ||
+      !parse_field_u64(message, "seed", parsed.seed, error)) {
+    return false;
+  }
+  const std::string* scenario = message.find("scenario");
+  const std::string* spec = message.find("spec");
+  if (scenario == nullptr || spec == nullptr || spec->empty()) {
+    error = "'unit' message needs 'scenario' and 'spec' fields";
+    return false;
+  }
+  if (begin > end || end > instances || instances == 0) {
+    error = "'unit' range [" + std::to_string(begin) + ", " + std::to_string(end) +
+            ") out of bounds for " + std::to_string(instances) + " instances";
+    return false;
+  }
+  parsed.scenario = *scenario;
+  parsed.spec = *spec;
+  parsed.unit.point_index = static_cast<std::size_t>(point);
+  parsed.unit.begin = static_cast<std::size_t>(begin);
+  parsed.unit.end = static_cast<std::size_t>(end);
+  parsed.instances = static_cast<std::size_t>(instances);
+  out = std::move(parsed);
+  return true;
+}
+
+Message UnitResult::to_message() const {
+  return Message{"result",
+                 {{"id", std::to_string(id)},
+                  {"elapsed_ms", format_compact(elapsed_ms)},
+                  {"agg", aggregate}}};
+}
+
+bool parse_unit_result(const Message& message, UnitResult& out, std::string& error) {
+  if (message.type != "result") {
+    error = "expected a 'result' message, got '" + message.type + "'";
+    return false;
+  }
+  UnitResult parsed;
+  if (!parse_field_u64(message, "id", parsed.id, error)) return false;
+  const std::string* aggregate = message.find("agg");
+  if (aggregate == nullptr || aggregate->empty()) {
+    error = "'result' message needs an 'agg' field";
+    return false;
+  }
+  if (const std::string* elapsed = message.find("elapsed_ms")) {
+    (void)parse_double(*elapsed, parsed.elapsed_ms);  // informational; 0 on junk
+  }
+  parsed.aggregate = *aggregate;
+  out = std::move(parsed);
+  return true;
+}
+
+Message make_quit() { return Message{"quit", {}}; }
+
+Message make_error(std::string_view text) {
+  std::string clean(text);
+  for (char& c : clean) {
+    if (c == '\n') c = ' ';
+  }
+  return Message{"error", {{"text", std::move(clean)}}};
+}
+
+// -- Campaign plan ----------------------------------------------------------
+
+namespace {
+
+/// FNV-1a 64; stable across platforms, good enough to catch a resumed
+/// journal whose campaign differs in any defining parameter.
+void fnv1a(std::uint64_t& hash, std::string_view text) noexcept {
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  hash ^= 0xff;
+  hash *= 0x100000001b3ULL;  // separator so field boundaries matter
+}
+
+}  // namespace
+
+CampaignPlan build_campaign_plan(std::vector<scenario::SuiteEntry> entries,
+                                 std::int32_t instances, std::size_t chunk) {
+  CampaignPlan plan;
+  plan.entries = std::move(entries);
+  plan.instances = instances;
+  plan.chunk = chunk;
+
+  const std::vector<scenario::SuiteUnit> units =
+      scenario::enumerate_suite_units(plan.entries, instances, chunk);
+  plan.units.reserve(units.size());
+
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  fnv1a(hash, "pamr-dist/1");
+  fnv1a(hash, std::to_string(instances));
+  fnv1a(hash, std::to_string(chunk));
+
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    const scenario::SuiteEntry& entry = plan.entries[units[u].scenario_index];
+    WorkUnit unit;
+    unit.id = u;
+    unit.scenario = entry.scenario->name;
+    unit.unit = units[u];
+    unit.instances = static_cast<std::size_t>(instances);
+    unit.seed = entry.seed;
+    unit.spec = entry.scenario->points[units[u].point_index].spec.to_string();
+    fnv1a(hash, unit.scenario);
+    fnv1a(hash, std::to_string(unit.seed));
+    fnv1a(hash, std::to_string(unit.unit.point_index));
+    fnv1a(hash, std::to_string(unit.unit.begin));
+    fnv1a(hash, std::to_string(unit.unit.end));
+    fnv1a(hash, unit.spec);
+    plan.units.push_back(std::move(unit));
+  }
+
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016" PRIx64, hash);
+  plan.fingerprint = buffer;
+  return plan;
+}
+
+}  // namespace dist
+}  // namespace pamr

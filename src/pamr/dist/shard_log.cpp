@@ -1,0 +1,118 @@
+#include "pamr/dist/shard_log.hpp"
+
+#include <fstream>
+
+#include "pamr/exp/metrics.hpp"
+#include "pamr/util/log.hpp"
+#include "pamr/util/string_util.hpp"
+
+namespace pamr {
+namespace dist {
+
+namespace {
+
+constexpr std::string_view kHeaderPrefix = "pamr-shards/1 fingerprint=";
+constexpr std::string_view kDonePrefix = "done ";
+
+}  // namespace
+
+ShardLog::~ShardLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ShardLog::load(std::string_view fingerprint,
+                    std::map<std::uint64_t, std::string>& completed,
+                    std::string& error) {
+  completed.clear();
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return true;  // no journal yet — nothing to resume
+
+  std::string line;
+  if (!std::getline(in, line) || line.empty()) return true;  // empty file
+  if (!starts_with(line, kHeaderPrefix) ||
+      line.substr(kHeaderPrefix.size()) != fingerprint) {
+    error = "journal '" + path_ + "' belongs to a different campaign (header '" +
+            line + "', expected fingerprint " + std::string(fingerprint) + ")";
+    return false;
+  }
+
+  std::size_t line_number = 1;
+  bool previous_incomplete = false;
+  std::string pending_warning;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (previous_incomplete) {
+      // A malformed line is only forgivable as the file's *last* line.
+      error = "journal '" + path_ + "' is corrupt: " + pending_warning;
+      return false;
+    }
+    const auto fail = [&](const std::string& what) {
+      pending_warning = what + " at line " + std::to_string(line_number);
+      previous_incomplete = true;
+    };
+    if (!starts_with(line, kDonePrefix)) {
+      fail("expected a 'done' line");
+      continue;
+    }
+    const std::string_view rest = std::string_view(line).substr(kDonePrefix.size());
+    const std::size_t space = rest.find(' ');
+    std::int64_t unit_id = 0;
+    if (space == std::string_view::npos ||
+        !parse_int64(rest.substr(0, space), unit_id) || unit_id < 0) {
+      fail("malformed unit id");
+      continue;
+    }
+    const std::string_view aggregate = rest.substr(space + 1);
+    // Validate the payload here, not just its shape: a crash mid-append can
+    // truncate *inside* the aggregate text, and an unparsable final line
+    // must rerun its unit, not wedge --resume at merge time.
+    exp::PointAggregate parsed;
+    std::string parse_error;
+    if (!exp::parse_point_aggregate(aggregate, parsed, parse_error)) {
+      fail("unparsable aggregate (" + parse_error + ")");
+      continue;
+    }
+    completed[static_cast<std::uint64_t>(unit_id)] = std::string(aggregate);
+  }
+  if (previous_incomplete) {
+    PAMR_LOG_WARN("journal '" + path_ + "': dropping truncated final line (" +
+                  pending_warning + "); its unit will rerun");
+  }
+  return true;
+}
+
+bool ShardLog::open_append(std::string_view fingerprint, std::string& error) {
+  bool need_header = true;
+  {
+    std::ifstream existing(path_, std::ios::binary);
+    need_header = !existing || existing.peek() == std::ifstream::traits_type::eof();
+  }
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr) {
+    error = "cannot open journal '" + path_ + "' for appending";
+    return false;
+  }
+  if (need_header) {
+    std::fprintf(file_, "%.*s%.*s\n", static_cast<int>(kHeaderPrefix.size()),
+                 kHeaderPrefix.data(), static_cast<int>(fingerprint.size()),
+                 fingerprint.data());
+    std::fflush(file_);
+  }
+  return true;
+}
+
+bool ShardLog::record(std::uint64_t unit_id, std::string_view aggregate) {
+  if (file_ == nullptr) return false;
+  const int written =
+      std::fprintf(file_, "done %llu %.*s\n", static_cast<unsigned long long>(unit_id),
+                   static_cast<int>(aggregate.size()), aggregate.data());
+  const bool ok = written > 0 && std::fflush(file_) == 0;
+  if (!ok && !warned_) {
+    PAMR_LOG_WARN("journal '" + path_ + "': append failed; this run cannot be resumed");
+    warned_ = true;
+  }
+  return ok;
+}
+
+}  // namespace dist
+}  // namespace pamr

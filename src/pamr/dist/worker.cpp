@@ -1,0 +1,78 @@
+#include "pamr/dist/worker.hpp"
+
+#include <cstdlib>
+#include <string>
+
+#include "pamr/dist/protocol.hpp"
+#include "pamr/exp/metrics.hpp"
+#include "pamr/scenario/scenario_spec.hpp"
+#include "pamr/scenario/work_list.hpp"
+#include "pamr/util/string_util.hpp"
+#include "pamr/util/timer.hpp"
+
+namespace pamr {
+namespace dist {
+
+namespace {
+
+void send(std::FILE* out, const Message& message) {
+  const std::string wire = to_wire(message);
+  std::fwrite(wire.data(), 1, wire.size(), out);
+  std::fflush(out);
+}
+
+[[nodiscard]] int fail(std::FILE* out, const std::string& text) {
+  send(out, make_error(text));
+  return 4;
+}
+
+[[nodiscard]] std::size_t fail_after_limit() {
+  if (const char* env = std::getenv("PAMR_DIST_WORKER_FAIL_AFTER")) {
+    std::int64_t limit = 0;
+    if (parse_int64(env, limit) && limit > 0) return static_cast<std::size_t>(limit);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run_worker(std::FILE* in, std::FILE* out) {
+  const std::size_t fail_after = fail_after_limit();
+  std::size_t units_received = 0;
+
+  Message message;
+  std::string error;
+  while (read_message(in, message, error)) {
+    if (message.type == "quit") return 0;
+    WorkUnit unit;
+    if (!parse_work_unit(message, unit, error)) return fail(out, error);
+
+    ++units_received;
+    if (fail_after != 0 && units_received > fail_after) {
+      std::_Exit(3);  // simulated crash: no reply, no cleanup
+    }
+
+    scenario::ScenarioSpec spec;
+    if (!scenario::ScenarioSpec::parse(unit.spec, spec, error)) {
+      return fail(out, "unit " + std::to_string(unit.id) + ": bad spec: " + error);
+    }
+    const Mesh mesh = spec.make_mesh();
+    const PowerModel model = spec.make_model();
+
+    const WallTimer timer;
+    const exp::PointAggregate aggregate = scenario::run_unit_instances(
+        mesh, model, spec, unit.unit.begin, unit.unit.end, unit.instances, unit.seed,
+        unit.unit.point_index);
+
+    UnitResult result;
+    result.id = unit.id;
+    result.aggregate = exp::serialize_point_aggregate(aggregate);
+    result.elapsed_ms = timer.elapsed_seconds() * 1e3;
+    send(out, result.to_message());
+  }
+  if (!error.empty()) return fail(out, error);
+  return 0;  // EOF: coordinator closed the pipe
+}
+
+}  // namespace dist
+}  // namespace pamr

@@ -1,0 +1,28 @@
+// Worker side of the distributed protocol.
+//
+// A worker is the same binary as the coordinator, re-executed with
+// `--worker`: it reads `unit` messages from stdin, runs each unit's
+// instances through the exact SuiteRunner kernel
+// (scenario::run_unit_instances — same seed derivation, same envelope
+// positions), and writes a `result` message with the bit-exact aggregate
+// wire form to stdout. Units are processed serially; parallelism is the
+// coordinator's job (N workers × 1 unit in flight each).
+#pragma once
+
+#include <cstdio>
+
+namespace pamr {
+namespace dist {
+
+/// Runs the worker loop until `quit` or EOF. Returns the process exit
+/// code: 0 on a clean shutdown, non-zero after reporting a protocol or
+/// spec error to the coordinator.
+///
+/// Test hook: if PAMR_DIST_WORKER_FAIL_AFTER=N is set (N > 0), the worker
+/// _Exit(3)s on receiving its (N+1)-th unit without replying — simulating
+/// a crashed shard so the fault-tolerance tests can watch the coordinator
+/// requeue the in-flight unit onto a fresh worker.
+[[nodiscard]] int run_worker(std::FILE* in, std::FILE* out);
+
+}  // namespace dist
+}  // namespace pamr

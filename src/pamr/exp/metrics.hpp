@@ -8,6 +8,8 @@
 
 #include <array>
 #include <cstddef>
+#include <string>
+#include <string_view>
 
 #include "pamr/routing/router.hpp"
 #include "pamr/util/stats.hpp"
@@ -55,6 +57,22 @@ struct PointAggregate {
 
   [[nodiscard]] double failure_ratio(std::size_t series) const;
 };
+
+// -- Wire form --------------------------------------------------------------
+//
+// The distributed runner ships chunk aggregates between processes and
+// journals them on disk, so the merged campaign must reconstruct *exactly*
+// the accumulator a single process would have built. The text form is one
+// line of space-separated key=value tokens whose doubles are IEEE-754 bit
+// patterns in hex: parse(serialize(a)) equals `a` bit-for-bit, independent
+// of locale, printf precision, or libc rounding.
+
+[[nodiscard]] std::string serialize_point_aggregate(const PointAggregate& aggregate);
+
+/// Parses serialize_point_aggregate's form. On failure returns false and
+/// sets `error` (leaving `out` untouched).
+[[nodiscard]] bool parse_point_aggregate(std::string_view text, PointAggregate& out,
+                                         std::string& error);
 
 }  // namespace exp
 }  // namespace pamr

@@ -5,7 +5,6 @@
 #include <fstream>
 #include <memory>
 
-#include "pamr/exp/instance_runner.hpp"
 #include "pamr/util/assert.hpp"
 #include "pamr/util/log.hpp"
 #include "pamr/util/string_util.hpp"
@@ -14,95 +13,123 @@
 namespace pamr {
 namespace scenario {
 
-namespace {
-
-struct PointJob {
-  Mesh mesh;
-  PowerModel model;
-  const ScenarioSpec* spec;
-  std::uint64_t point_id;
-};
-
-/// Executes all jobs' instances in one flattened parallel_for. Chunk
-/// boundaries depend only on (instances, chunk), and chunk partials are
-/// merged in index order, so the result is independent of the pool size.
-std::vector<exp::PointAggregate> run_jobs(const std::vector<PointJob>& jobs,
-                                          std::int32_t instances, std::uint64_t seed,
-                                          std::size_t chunk, ThreadPool& pool) {
-  PAMR_CHECK(instances >= 1, "need at least one instance");
-  PAMR_CHECK(chunk >= 1, "chunk must be positive");
-  const auto count = static_cast<std::size_t>(instances);
-  const std::size_t chunks_per_point = (count + chunk - 1) / chunk;
-  std::vector<exp::PointAggregate> partials(jobs.size() * chunks_per_point);
-
-  pool.parallel_for(partials.size(), [&](std::size_t item) {
-    const PointJob& job = jobs[item / chunks_per_point];
-    const std::size_t begin = (item % chunks_per_point) * chunk;
-    const std::size_t end = std::min(begin + chunk, count);
-    exp::PointAggregate& partial = partials[item];
-    for (std::size_t instance = begin; instance < end; ++instance) {
-      Rng rng(derive_seed(seed, job.point_id, instance));
-      // Envelope position: instance midpoints cover (0, 1) evenly.
-      const double t =
-          (static_cast<double>(instance) + 0.5) / static_cast<double>(count);
-      const CommSet comms = job.spec->generate(job.mesh, t, rng);
-      partial.add(exp::run_instance(job.mesh, comms, job.model));
-    }
-  });
-
-  std::vector<exp::PointAggregate> out(jobs.size());
-  for (std::size_t j = 0; j < jobs.size(); ++j) {
-    for (std::size_t c = 0; c < chunks_per_point; ++c) {
-      out[j].merge(partials[j * chunks_per_point + c]);
-    }
+void SuiteOptions::validate() const {
+  if (instances <= 0) {
+    throw std::invalid_argument("SuiteOptions.instances must be >= 1, got " +
+                                std::to_string(instances));
   }
-  return out;
+  if (instances > 10'000'000) {
+    throw std::invalid_argument("SuiteOptions.instances must be <= 10000000, got " +
+                                std::to_string(instances));
+  }
+  if (chunk == 0) {
+    throw std::invalid_argument("SuiteOptions.chunk must be >= 1, got 0");
+  }
+  if (threads > 4096) {
+    throw std::invalid_argument("SuiteOptions.threads must be <= 4096, got " +
+                                std::to_string(threads));
+  }
 }
-
-}  // namespace
 
 exp::PointAggregate run_scenario_point(const Mesh& mesh, const PowerModel& model,
                                        const ScenarioSpec& spec, std::int32_t instances,
                                        std::uint64_t seed, std::uint64_t point_id,
                                        ThreadPool* pool, std::size_t chunk) {
-  std::vector<PointJob> jobs;
-  jobs.push_back(PointJob{mesh, model, &spec, point_id});
-  return std::move(run_jobs(jobs, instances, seed, chunk,
-                            pool != nullptr ? *pool : ThreadPool::global())
-                       .front());
+  PAMR_CHECK(instances >= 1, "need at least one instance");
+  PAMR_CHECK(chunk >= 1, "chunk must be positive");
+  const auto count = static_cast<std::size_t>(instances);
+  const std::size_t chunks = (count + chunk - 1) / chunk;
+  std::vector<exp::PointAggregate> partials(chunks);
+  ThreadPool& run_pool = pool != nullptr ? *pool : ThreadPool::global();
+  run_pool.parallel_for(chunks, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    partials[c] = run_unit_instances(mesh, model, spec, begin,
+                                     std::min(begin + chunk, count), count, seed,
+                                     point_id);
+  });
+  exp::PointAggregate out;
+  for (const exp::PointAggregate& partial : partials) out.merge(partial);
+  return out;
 }
 
 SuiteRunner::SuiteRunner(SuiteOptions options) : options_(options) {
-  PAMR_CHECK(options_.instances >= 1, "need at least one instance per point");
-  PAMR_CHECK(options_.chunk >= 1, "chunk must be positive");
+  options_.validate();
 }
 
 ScenarioResult SuiteRunner::run(const Scenario& scenario) const {
+  return std::move(run_all({SuiteEntry{&scenario, options_.seed}}).front());
+}
+
+std::vector<ScenarioResult> SuiteRunner::run_all(const std::vector<SuiteEntry>& entries,
+                                                 const UnitSink& sink) const {
+  options_.validate();
   const WallTimer timer;
+
+  // Per-point materialized state (mesh + model are built once, not per
+  // chunk), flattened scenario-major like the unit list.
+  struct PointJob {
+    Mesh mesh;
+    PowerModel model;
+    const ScenarioSpec* spec;
+  };
   std::vector<PointJob> jobs;
-  jobs.reserve(scenario.points.size());
-  for (std::size_t p = 0; p < scenario.points.size(); ++p) {
-    const ScenarioSpec& spec = scenario.points[p].spec;
-    jobs.push_back(PointJob{spec.make_mesh(), spec.make_model(), &spec,
-                            static_cast<std::uint64_t>(p)});
+  std::vector<std::size_t> first_job;  // entries index -> jobs offset
+  first_job.reserve(entries.size());
+  for (const SuiteEntry& entry : entries) {
+    PAMR_CHECK(entry.scenario != nullptr, "null scenario in suite batch");
+    first_job.push_back(jobs.size());
+    for (const ScenarioPoint& point : entry.scenario->points) {
+      jobs.push_back(
+          PointJob{point.spec.make_mesh(), point.spec.make_model(), &point.spec});
+    }
   }
+
+  const std::vector<SuiteUnit> units =
+      enumerate_suite_units(entries, options_.instances, options_.chunk);
+  const auto count = static_cast<std::size_t>(options_.instances);
 
   std::unique_ptr<ThreadPool> own_pool;
   if (options_.threads != 0) own_pool = std::make_unique<ThreadPool>(options_.threads);
   ThreadPool& pool = own_pool != nullptr ? *own_pool : ThreadPool::global();
-  std::vector<exp::PointAggregate> aggregates =
-      run_jobs(jobs, options_.instances, options_.seed, options_.chunk, pool);
 
-  ScenarioResult result;
-  result.name = scenario.name;
-  result.x_label = scenario.x_label;
-  result.points.reserve(scenario.points.size());
-  for (std::size_t p = 0; p < scenario.points.size(); ++p) {
-    result.points.push_back(
-        ScenarioPointResult{scenario.points[p].x, std::move(aggregates[p])});
+  std::vector<exp::PointAggregate> partials(units.size());
+  pool.parallel_for(units.size(), [&](std::size_t u) {
+    const SuiteUnit& unit = units[u];
+    const PointJob& job = jobs[first_job[unit.scenario_index] + unit.point_index];
+    partials[u] = run_unit_instances(job.mesh, job.model, *job.spec, unit.begin,
+                                     unit.end, count, entries[unit.scenario_index].seed,
+                                     unit.point_index);
+    if (sink) sink(unit, partials[u]);
+  });
+
+  std::vector<ScenarioResult> results = fold_suite_units(entries, units, partials);
+  const double elapsed = timer.elapsed_seconds();
+  for (ScenarioResult& result : results) result.elapsed_seconds = elapsed;
+  return results;
+}
+
+std::vector<ScenarioResult> fold_suite_units(
+    const std::vector<SuiteEntry>& entries, const std::vector<SuiteUnit>& units,
+    const std::vector<exp::PointAggregate>& partials) {
+  PAMR_CHECK(units.size() == partials.size(), "one partial per unit required");
+  std::vector<ScenarioResult> results(entries.size());
+  for (std::size_t s = 0; s < entries.size(); ++s) {
+    const Scenario& scenario = *entries[s].scenario;
+    results[s].name = scenario.name;
+    results[s].x_label = scenario.x_label;
+    results[s].points.resize(scenario.points.size());
+    for (std::size_t p = 0; p < scenario.points.size(); ++p) {
+      results[s].points[p].x = scenario.points[p].x;
+    }
   }
-  result.elapsed_seconds = timer.elapsed_seconds();
-  return result;
+  // Canonical unit order: scenario-major, point-major, chunk-major, so each
+  // point's chunks merge contiguously and in order.
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    results[units[u].scenario_index]
+        .points[units[u].point_index]
+        .aggregate.merge(partials[u]);
+  }
+  return results;
 }
 
 // -------------------------------------------------------- campaign bridge --
@@ -209,21 +236,42 @@ std::string result_to_json(const ScenarioResult& result) {
   return out;
 }
 
-void run_and_report(const Scenario& scenario, const SuiteOptions& options,
-                    bool write_csv, bool write_json) {
-  const ScenarioResult result = SuiteRunner(options).run(scenario);
+std::vector<std::string> stream_csv_header() {
+  std::vector<std::string> header{"scenario", "point", "x", "begin", "to"};
+  for (std::size_t s = 0; s < exp::kNumSeries; ++s) {
+    header.emplace_back(exp::series_name(s));
+  }
+  return header;
+}
 
-  std::printf("== %s (%d instances/point, %.1fs) ==\n", scenario.name.c_str(),
-              options.instances, result.elapsed_seconds);
+std::vector<Cell> stream_csv_row(const std::string& scenario, double x,
+                                 const SuiteUnit& unit,
+                                 const exp::PointAggregate& partial) {
+  std::vector<Cell> row{scenario, static_cast<std::int64_t>(unit.point_index), x,
+                        static_cast<std::int64_t>(unit.begin),
+                        static_cast<std::int64_t>(unit.end)};
+  for (std::size_t s = 0; s < exp::kNumSeries; ++s) {
+    row.emplace_back(partial.normalized_inverse[s].mean());
+  }
+  return row;
+}
+
+void print_scenario_result(const ScenarioResult& result, std::int32_t instances) {
+  std::printf("== %s (%d instances/point, %.1fs) ==\n", result.name.c_str(), instances,
+              result.elapsed_seconds);
   std::printf("-- normalized power inverse (1/P over 1/P_BEST; 0 = failure) --\n%s",
               normalized_inverse_table(result).to_text().c_str());
   std::printf("-- failure ratio --\n%s\n", failure_ratio_table(result).to_text().c_str());
+}
 
-  const std::string base = output_directory() + "/" + scenario.name;
+bool write_scenario_outputs(const ScenarioResult& result, const std::string& dir,
+                            bool write_csv, bool write_json) {
+  const std::string base = dir + "/" + result.name;
+  bool ok = true;
   if (write_csv) {
-    (void)normalized_inverse_table(result).write_csv(base + "_norm_inv_power.csv");
-    (void)failure_ratio_table(result).write_csv(base + "_failure_ratio.csv");
-    PAMR_LOG_INFO("wrote " + base + "_{norm_inv_power,failure_ratio}.csv");
+    ok &= normalized_inverse_table(result).write_csv(base + "_norm_inv_power.csv");
+    ok &= failure_ratio_table(result).write_csv(base + "_failure_ratio.csv");
+    if (ok) PAMR_LOG_INFO("wrote " + base + "_{norm_inv_power,failure_ratio}.csv");
   }
   if (write_json) {
     std::ofstream file(base + ".json");
@@ -232,8 +280,17 @@ void run_and_report(const Scenario& scenario, const SuiteOptions& options,
       PAMR_LOG_INFO("wrote " + base + ".json");
     } else {
       PAMR_LOG_WARN("cannot open '" + base + ".json' for writing");
+      ok = false;
     }
   }
+  return ok;
+}
+
+void run_and_report(const Scenario& scenario, const SuiteOptions& options,
+                    bool write_csv, bool write_json) {
+  const ScenarioResult result = SuiteRunner(options).run(scenario);
+  print_scenario_result(result, options.instances);
+  (void)write_scenario_outputs(result, output_directory(), write_csv, write_json);
 }
 
 }  // namespace scenario

@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "pamr/exp/campaign.hpp"
 #include "pamr/exp/metrics.hpp"
 #include "pamr/scenario/registry.hpp"
+#include "pamr/scenario/work_list.hpp"
 #include "pamr/util/csv.hpp"
 #include "pamr/util/thread_pool.hpp"
 
@@ -33,7 +35,20 @@ struct SuiteOptions {
   /// 8 keeps a single default-trials point (300 instances) spread over
   /// ~38 items, enough for wide machines even without point flattening.
   std::size_t chunk = 8;
+
+  /// Rejects options that would corrupt the sharding math (instances <= 0,
+  /// chunk == 0, absurd thread counts) with a std::invalid_argument naming
+  /// the offending field — like routing's check_comm_set, bad user input
+  /// must fail loudly at the API boundary, not deep inside a parallel_for.
+  /// Every execution entry point (SuiteRunner, pamr::dist) calls this.
+  void validate() const;
 };
+
+/// Observes unit completion during a suite run. Called concurrently from
+/// pool workers, in completion order (nondeterministic); the aggregate is
+/// the unit's own partial, not a running total. Used to stream progress
+/// rows (CsvStreamWriter) while a 50k-instance campaign is still running.
+using UnitSink = std::function<void(const SuiteUnit&, const exp::PointAggregate&)>;
 
 struct ScenarioPointResult {
   double x = 0.0;
@@ -46,6 +61,16 @@ struct ScenarioResult {
   std::vector<ScenarioPointResult> points;
   double elapsed_seconds = 0.0;
 };
+
+/// THE canonical fold: builds each entry's result skeleton and merges one
+/// partial aggregate per unit, in unit-index order. Every execution path
+/// that claims bit-identical output — SuiteRunner::run_all over its
+/// parallel_for partials, dist::ResultMerger over deserialized worker
+/// results — funnels through this single implementation, so they cannot
+/// diverge. `partials[i]` belongs to `units[i]`.
+[[nodiscard]] std::vector<ScenarioResult> fold_suite_units(
+    const std::vector<SuiteEntry>& entries, const std::vector<SuiteUnit>& units,
+    const std::vector<exp::PointAggregate>& partials);
 
 /// Runs every instance of one spec (the single-point kernel; exp::run_point
 /// delegates here). `pool` may be null for the global pool.
@@ -61,8 +86,20 @@ class SuiteRunner {
   [[nodiscard]] const SuiteOptions& options() const noexcept { return options_; }
 
   /// Runs all points of one scenario, sharded over the pool as a single
-  /// flattened work list.
+  /// flattened work list. Equivalent to run_all with one entry seeded from
+  /// options().seed.
   [[nodiscard]] ScenarioResult run(const Scenario& scenario) const;
+
+  /// Runs a whole batch as ONE flattened work list — every (scenario,
+  /// point, instance-chunk) unit of every entry lands in the same
+  /// parallel_for, so short scenarios no longer serialize behind long ones
+  /// at round boundaries. Unit aggregates merge in canonical unit order:
+  /// each returned ScenarioResult is bit-identical to a standalone run()
+  /// of that entry with the same seed, for any thread count. Every result
+  /// reports the batch's wall time (execution is interleaved; per-scenario
+  /// times would be fiction). `sink`, if set, observes unit completions.
+  [[nodiscard]] std::vector<ScenarioResult> run_all(
+      const std::vector<SuiteEntry>& entries, const UnitSink& sink = {}) const;
 
  private:
   SuiteOptions options_;
@@ -99,6 +136,27 @@ using SeriesExtractor = double (*)(const exp::PointAggregate&, std::size_t);
 
 /// Both tables as one JSON document (util/csv Table::to_json rows).
 [[nodiscard]] std::string result_to_json(const ScenarioResult& result);
+
+/// Header / row of the live progress stream (one CsvStreamWriter row per
+/// completed unit, in completion order): the unit's coordinates plus each
+/// series' chunk-partial mean normalized inverse. Shared by
+/// `pamr_scenarios --stream` and the pamr_dist coordinator so the two
+/// streams are drop-in compatible for live plotting.
+[[nodiscard]] std::vector<std::string> stream_csv_header();
+[[nodiscard]] std::vector<Cell> stream_csv_row(const std::string& scenario, double x,
+                                               const SuiteUnit& unit,
+                                               const exp::PointAggregate& partial);
+
+/// Prints both tables of one result to stdout (shared by the scenario CLI
+/// and pamr_dist, so their human-readable reports match too).
+void print_scenario_result(const ScenarioResult& result, std::int32_t instances);
+
+/// Writes dir/<name>_{norm_inv_power,failure_ratio}.csv and, optionally,
+/// dir/<name>.json. One shared implementation is what makes `pamr_dist`
+/// output byte-identical to `pamr_scenarios --csv --json`. Returns false
+/// (after logging) if any write failed.
+bool write_scenario_outputs(const ScenarioResult& result, const std::string& dir,
+                            bool write_csv, bool write_json);
 
 /// Runs a scenario and prints both tables; optionally writes
 /// output_directory()/<name>_{norm_inv_power,failure_ratio}.csv and

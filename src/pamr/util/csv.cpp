@@ -21,11 +21,19 @@ void Table::add_row(std::vector<Cell> row) {
   rows_.push_back(std::move(row));
 }
 
-std::string Table::format_cell(const Cell& cell) const {
+namespace {
+
+std::string format_cell_text(const Cell& cell, int precision) {
   if (const auto* text = std::get_if<std::string>(&cell)) return *text;
   if (const auto* integer = std::get_if<std::int64_t>(&cell))
     return std::to_string(*integer);
-  return format_double(std::get<double>(cell), precision_);
+  return format_double(std::get<double>(cell), precision);
+}
+
+}  // namespace
+
+std::string Table::format_cell(const Cell& cell) const {
+  return format_cell_text(cell, precision_);
 }
 
 std::string Table::to_text() const {
@@ -132,6 +140,58 @@ bool Table::write_json(const std::string& path) const {
   }
   file << to_json();
   return static_cast<bool>(file);
+}
+
+// --------------------------------------------------------- stream writer --
+
+bool CsvStreamWriter::open(const std::string& path,
+                           const std::vector<std::string>& header, bool append) {
+  PAMR_CHECK(!header.empty(), "a stream needs at least one column");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAMR_CHECK(!file_.is_open(), "stream already open");
+  bool continuing = false;
+  if (append) {
+    std::ifstream existing(path);
+    continuing = existing && existing.peek() != std::ifstream::traits_type::eof();
+  }
+  file_.open(path, append ? std::ios::app : std::ios::trunc);
+  if (!file_) {
+    PAMR_LOG_WARN("cannot open '" + path + "' for writing");
+    return false;
+  }
+  path_ = path;
+  columns_ = header.size();
+  if (!continuing) {
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (c > 0) file_ << ',';
+      file_ << csv_escape(header[c]);
+    }
+    file_ << '\n' << std::flush;
+  }
+  return static_cast<bool>(file_);
+}
+
+bool CsvStreamWriter::append_row(const std::vector<Cell>& row) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  PAMR_CHECK(file_.is_open(), "stream not open");
+  PAMR_CHECK(row.size() == columns_, "row width does not match the header");
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (c > 0) file_ << ',';
+    file_ << csv_escape(format_cell_text(row[c], precision_));
+  }
+  file_ << '\n' << std::flush;
+  if (!file_) {
+    if (!warned_) PAMR_LOG_WARN("write to '" + path_ + "' failed");
+    warned_ = true;
+    return false;
+  }
+  ++rows_;
+  return true;
+}
+
+std::size_t CsvStreamWriter::rows_written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rows_;
 }
 
 std::string output_directory() {

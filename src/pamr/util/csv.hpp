@@ -3,7 +3,8 @@
 #pragma once
 
 #include <cstdint>
-#include <iosfwd>
+#include <fstream>
+#include <mutex>
 #include <string>
 #include <variant>
 #include <vector>
@@ -49,6 +50,45 @@ class Table {
   std::vector<std::string> header_;
   std::vector<std::vector<Cell>> rows_;
   int precision_ = 4;
+};
+
+/// Incremental CSV writer: appends one row at a time and flushes it, so a
+/// 50k-instance campaign streams results to disk as chunks complete instead
+/// of buffering a whole Table in memory — and an interrupted run leaves
+/// every completed row readable. append() is thread-safe (pool workers and
+/// the distributed coordinator's event loop both call it directly).
+class CsvStreamWriter {
+ public:
+  CsvStreamWriter() = default;
+  CsvStreamWriter(const CsvStreamWriter&) = delete;
+  CsvStreamWriter& operator=(const CsvStreamWriter&) = delete;
+
+  /// Opens `path` and writes the header row. With `append` set, an
+  /// existing non-empty file is continued instead (no second header) —
+  /// how `pamr_dist --resume` keeps one stream across interruptions.
+  /// Returns false (after logging) on I/O failure.
+  [[nodiscard]] bool open(const std::string& path,
+                          const std::vector<std::string>& header,
+                          bool append = false);
+
+  [[nodiscard]] bool is_open() const noexcept { return file_.is_open(); }
+
+  /// Appends one row and flushes. Rows must match the header width.
+  /// Returns false (after logging, once) on I/O failure.
+  bool append_row(const std::vector<Cell>& row);
+
+  [[nodiscard]] std::size_t rows_written() const;
+
+  void set_double_precision(int precision) noexcept { precision_ = precision; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::ofstream file_;
+  std::string path_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+  int precision_ = 4;
+  bool warned_ = false;
 };
 
 /// Output directory for experiment artifacts: $PAMR_OUT_DIR or "." .

@@ -15,8 +15,33 @@ namespace pamr {
 /// per-thread accumulators can be combined after a parallel_for.
 class RunningStats {
  public:
+  /// The raw accumulator words. Exposed so aggregates can cross process
+  /// boundaries (the distributed runner serializes them bit-exactly) —
+  /// from_state(state()) reconstructs *this* exactly, including the
+  /// rounding history that mean()/variance() alone would lose.
+  struct State {
+    std::size_t n = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    friend bool operator==(const State&, const State&) = default;
+  };
+
   void add(double x) noexcept;
   void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] State state() const noexcept { return {n_, mean_, m2_, min_, max_}; }
+  [[nodiscard]] static RunningStats from_state(const State& s) noexcept {
+    RunningStats stats;
+    stats.n_ = s.n;
+    stats.mean_ = s.mean;
+    stats.m2_ = s.m2;
+    stats.min_ = s.min;
+    stats.max_ = s.max;
+    return stats;
+  }
 
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }

@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
   parser.add_int("threads", 0, "worker threads; 0 follows PAMR_THREADS/hardware");
   parser.add_flag("csv", "also write CSV files to PAMR_OUT_DIR");
   parser.add_flag("json", "also write a JSON file per scenario to PAMR_OUT_DIR");
+  parser.add_string("stream", "",
+                    "append a CSV progress row per completed work unit to this path");
   int exit_code = 0;
   if (!parser.parse(argc, argv, exit_code)) return exit_code;
 
@@ -115,20 +117,43 @@ int main(int argc, char** argv) {
     std::fputs(parser.help_text().c_str(), stdout);
     return 2;
   }
-  if (names == "all") {
-    for (const Scenario& scenario : registry.scenarios()) {
-      if (!run_one(scenario)) return 2;
-    }
-    return 0;
+
+  // Whether one name, a comma list, or 'all': the batch runs as ONE
+  // flattened work list (SuiteRunner::run_all), so short scenarios don't
+  // serialize behind long ones — each result still matches a standalone
+  // run of that scenario bit-for-bit.
+  std::vector<scenario::SuiteEntry> entries;
+  std::string resolve_error;
+  if (!scenario::resolve_suite_entries(registry, names, seed, entries,
+                                       resolve_error)) {
+    std::fprintf(stderr, "%s (try --list)\n", resolve_error.c_str());
+    return 2;
   }
-  for (const std::string& name : split(names, ',')) {
-    const Scenario* scenario = registry.find(trim(name));
-    if (scenario == nullptr) {
-      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
-                   std::string(trim(name)).c_str());
-      return 2;
+
+  CsvStreamWriter stream;
+  scenario::UnitSink sink;
+  if (const std::string& path = parser.get_string("stream"); !path.empty()) {
+    if (!stream.open(path, scenario::stream_csv_header())) return 2;
+    sink = [&entries, &stream](const scenario::SuiteUnit& unit,
+                               const exp::PointAggregate& partial) {
+      const Scenario& scenario = *entries[unit.scenario_index].scenario;
+      (void)stream.append_row(scenario::stream_csv_row(
+          scenario.name, scenario.points[unit.point_index].x, unit, partial));
+    };
+  }
+
+  try {
+    const std::vector<scenario::ScenarioResult> results =
+        scenario::SuiteRunner(options).run_all(entries, sink);
+    for (const scenario::ScenarioResult& result : results) {
+      scenario::print_scenario_result(result, options.instances);
+      (void)scenario::write_scenario_outputs(result, output_directory(),
+                                             parser.get_flag("csv"),
+                                             parser.get_flag("json"));
     }
-    if (!run_one(*scenario)) return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error running '%s': %s\n", names.c_str(), e.what());
+    return 2;
   }
   return 0;
 }
