@@ -1,14 +1,14 @@
 // google-benchmark micro bench: construction time of each §5 policy on the
 // §6 workloads (regenerates the paper's runtime row: "the solution is
 // obtained in 24 ms for XYI, and in 38 ms for PR" on 2011 hardware), plus
-// scaled meshes to track the incremental PR removal loop:
+// scaled meshes to track the incremental PR removal and XYI search loops:
 //
 //   route/<KIND>/<nc>    8×8,   nc ∈ {20, 50, 100}  — all policies + BEST
-//   route16/<KIND>/<nc>  16×16, nc ∈ {100, 500}     — without XYI/BEST
-//   route32/<KIND>/<nc>  32×32, nc ∈ {500, 2000}    — without XYI/BEST
+//   route16/<KIND>/<nc>  16×16, nc ∈ {100, 500}     — all policies + BEST
+//   route32/<KIND>/<nc>  32×32, nc ∈ {500, 2000}    — all policies + BEST
 //
 // The matrix lives in pamr/bench/heuristics_matrix.hpp, shared with
-// tools/pamr_bench_export (the BENCH_2.json baseline exporter).
+// tools/pamr_bench_export (the BENCH_4.json baseline exporter).
 #include <benchmark/benchmark.h>
 
 #include <string>

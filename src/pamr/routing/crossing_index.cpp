@@ -1,0 +1,133 @@
+#include "pamr/routing/crossing_index.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+namespace {
+
+/// Unordered visitor lists: order is irrelevant for stamping, so removal is
+/// a swap with the back.
+void erase_unordered(std::vector<std::uint32_t>& list, std::uint32_t value) {
+  const auto at = std::find(list.begin(), list.end(), value);
+  PAMR_ASSERT(at != list.end());
+  *at = list.back();
+  list.pop_back();
+}
+
+}  // namespace
+
+CrossingIndex::CrossingIndex(const Mesh& mesh, std::size_t num_comms)
+    : mesh_(&mesh),
+      members_(static_cast<std::size_t>(mesh.num_links())),
+      evals_(static_cast<std::size_t>(mesh.num_links())),
+      visitors_(static_cast<std::size_t>(mesh.num_cores())),
+      comm_stamp_(num_comms, 1),  // ≥ 1, so never-computed slots (stamp 0) are stale
+      eval_stamp_(static_cast<std::size_t>(mesh.num_links()), 0),
+      has_verdict_(static_cast<std::size_t>(mesh.num_links()), 0),
+      core_mark_(static_cast<std::size_t>(mesh.num_cores()), 0) {}
+
+void CrossingIndex::add_initial_path(std::uint32_t comm,
+                                     const std::vector<Coord>& cores) {
+  for (std::size_t k = 0; k + 1 < cores.size(); ++k) {
+    const LinkId link = mesh_->link_between(cores[k], cores[k + 1]);
+    auto& list = members_[static_cast<std::size_t>(link)];
+    PAMR_ASSERT(list.empty() || list.back() < comm);  // registration order
+    list.push_back(comm);
+    evals_[static_cast<std::size_t>(link)].emplace_back();
+  }
+  for (const Coord core : cores) {
+    visitors_[static_cast<std::size_t>(mesh_->core_index(core))].push_back(comm);
+  }
+}
+
+void CrossingIndex::apply_rewrite(std::uint32_t comm, const std::vector<Coord>& before,
+                                  const std::vector<Coord>& after) {
+  PAMR_ASSERT(before.size() == after.size());
+  ++epoch_;
+  comm_stamp_[comm] = epoch_;
+  // Member + eval-slot lists stay parallel and sorted by communication:
+  // shifts over short contiguous lists beat node containers here.
+  const auto erase_member = [&](LinkId link, std::uint32_t value) {
+    auto& list = members_[static_cast<std::size_t>(link)];
+    const auto at = std::lower_bound(list.begin(), list.end(), value);
+    PAMR_ASSERT(at != list.end() && *at == value);
+    evals_[static_cast<std::size_t>(link)].erase(
+        evals_[static_cast<std::size_t>(link)].begin() + (at - list.begin()));
+    list.erase(at);
+  };
+  const auto insert_member = [&](LinkId link, std::uint32_t value) {
+    auto& list = members_[static_cast<std::size_t>(link)];
+    const auto at = std::lower_bound(list.begin(), list.end(), value);
+    PAMR_ASSERT(at == list.end() || *at != value);
+    evals_[static_cast<std::size_t>(link)].emplace(
+        evals_[static_cast<std::size_t>(link)].begin() + (at - list.begin()));
+    list.insert(at, value);
+  };
+  for (std::size_t k = 0; k + 1 < before.size(); ++k) {
+    if (before[k] == after[k] && before[k + 1] == after[k + 1]) continue;
+    const LinkId removed = mesh_->link_between(before[k], before[k + 1]);
+    const LinkId added = mesh_->link_between(after[k], after[k + 1]);
+    if (removed == added) continue;
+    erase_member(removed, comm);
+    insert_member(added, comm);
+  }
+  for (std::size_t k = 0; k < before.size(); ++k) {
+    if (before[k] == after[k]) continue;
+    erase_unordered(visitors_[static_cast<std::size_t>(mesh_->core_index(before[k]))],
+                    comm);
+    visitors_[static_cast<std::size_t>(mesh_->core_index(after[k]))].push_back(comm);
+  }
+}
+
+void CrossingIndex::stamp_core(Coord core) {
+  const auto idx = static_cast<std::size_t>(mesh_->core_index(core));
+  if (core_mark_[idx] == epoch_) return;  // already stamped under this move
+  core_mark_[idx] = epoch_;
+  for (const std::uint32_t comm : visitors_[idx]) comm_stamp_[comm] = epoch_;
+}
+
+void CrossingIndex::note_load_change(LinkId link) {
+  // The exact reader set of load(link), per the file comment's geometry:
+  //   * paths crossing the link itself (a removed-link term) — covered by
+  //     the endpoint visitors below;
+  //   * paths crossing a core of the link (the moved crossing step enters
+  //     or leaves the path there) — the endpoint visitors;
+  //   * paths one lane over whose shifted run would land on the link — the
+  //     members of the two lane-parallel links.
+  const LinkInfo& info = mesh_->link(link);
+  stamp_core(info.from);
+  stamp_core(info.to);
+  const auto lane_dirs = info.horizontal()
+                             ? std::array<LinkDir, 2>{LinkDir::kNorth, LinkDir::kSouth}
+                             : std::array<LinkDir, 2>{LinkDir::kEast, LinkDir::kWest};
+  for (const LinkDir lane : lane_dirs) {
+    const Coord from = step(info.from, lane);
+    const LinkId shifted = mesh_->link_from(from, info.dir);
+    if (shifted == kInvalidLink) continue;
+    for (const std::uint32_t comm : members_[static_cast<std::size_t>(shifted)]) {
+      comm_stamp_[comm] = epoch_;
+    }
+  }
+}
+
+bool CrossingIndex::can_skip(LinkId link) const {
+  const auto idx = static_cast<std::size_t>(link);
+  if (has_verdict_[idx] == 0) return false;
+  const std::uint64_t verdict = eval_stamp_[idx];
+  for (const std::uint32_t comm : members_[idx]) {
+    if (comm_stamp_[comm] > verdict) return false;
+  }
+  return true;
+}
+
+void CrossingIndex::record_no_improving_move(LinkId link) {
+  const auto idx = static_cast<std::size_t>(link);
+  eval_stamp_[idx] = epoch_;
+  has_verdict_[idx] = 1;
+}
+
+}  // namespace pamr

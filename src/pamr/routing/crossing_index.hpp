@@ -1,0 +1,117 @@
+// Incremental crossing index for the XYI local search (paper §5.4).
+//
+// XYI's inner loop repeatedly asks "which communications cross the current
+// hot link, and does any of them have a strictly improving detour?" — while
+// each applied move only rewrites one path window and only changes the
+// loads of the links inside it. The seed implementation answered it from
+// scratch every round: a scan of every communication's full path per hot
+// link, re-done from the top of the link order after every move.
+//
+// CrossingIndex maintains three things under applied moves:
+//
+//   * per-link member lists — the communications whose *current* path
+//     crosses the link, kept sorted by communication index so a walk
+//     reproduces the reference's ascending-ci candidate scan (and its
+//     first-candidate tie-break) exactly;
+//   * per-core visitor lists — the communications whose path visits the
+//     core, which is the reverse mapping needed for dirty stamping (below);
+//   * dirty-move memoization — a per-link cached "no improving move"
+//     verdict, valid until any communication it could have considered is
+//     re-stamped dirty.
+//
+// The stamping rule is what makes the memoization sound. Evaluating a hot
+// link L reads, per crossing communication c: c's path (the rotation
+// windows) and the loads of the candidate removed/added links. A candidate
+// rotation's links are exactly (i) removed steps, which lie on c's path,
+// (ii) the shifted run, whose links are one-lane parallels of path steps,
+// and (iii) the moved crossing step, which has one endpoint on c's path.
+// Inverting that: when the load of link ℓ changes, the communications whose
+// cached evaluations could have read it are the visitors of ℓ's two
+// endpoint cores (covers i and iii) plus the members of ℓ's two
+// lane-parallel links (covers ii — their shifted run lands on ℓ). A path
+// rewrite stamps the moved communication directly. A cached verdict or
+// candidate whose communication is older than every relevant stamp is
+// therefore still exact — skipping it is not an approximation, which is how
+// the incremental mode stays bit-identical to the reference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pamr/mesh/coord.hpp"
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/routing/xy_moves.hpp"
+
+namespace pamr {
+
+class CrossingIndex {
+ public:
+  /// Memoized per-(link, member) evaluation: the best candidate rotation of
+  /// this member's path around this link, computed at `stamp`. Valid while
+  /// the member's dirty stamp is ≤ `stamp` — its path and every load the
+  /// evaluation read are then untouched, so the cached delta is exact and
+  /// re-evaluating a link only recomputes its *dirty* members.
+  struct CachedEval {
+    xyi::Candidate candidate;
+    std::uint64_t stamp = 0;  ///< 0 = never computed (epochs start at 1)
+  };
+
+  CrossingIndex(const Mesh& mesh, std::size_t num_comms);
+
+  /// Registers a communication's initial path (as visited cores). Call in
+  /// increasing `comm` order so member lists start out sorted.
+  void add_initial_path(std::uint32_t comm, const std::vector<Coord>& cores);
+
+  /// Communications whose current path crosses `link`, ascending.
+  [[nodiscard]] const std::vector<std::uint32_t>& members(LinkId link) const {
+    return members_[static_cast<std::size_t>(link)];
+  }
+
+  /// Evaluation slots parallel to members(link), writable by the caller.
+  [[nodiscard]] std::vector<CachedEval>& eval_slots(LinkId link) {
+    return evals_[static_cast<std::size_t>(link)];
+  }
+
+  /// True iff `slot` (belonging to `comm`) still reflects the current state.
+  [[nodiscard]] bool slot_fresh(const CachedEval& slot, std::uint32_t comm) const {
+    return slot.stamp >= comm_stamp_[comm];
+  }
+
+  /// The stamp for slots recomputed now.
+  [[nodiscard]] std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// A move rewrote `comm`'s path from `before` to `after` (same length,
+  /// shared prefix/suffix): advances the move epoch, stamps `comm` dirty and
+  /// re-indexes exactly the changed window's links and cores.
+  void apply_rewrite(std::uint32_t comm, const std::vector<Coord>& before,
+                     const std::vector<Coord>& after);
+
+  /// The stored load of `link` changed under the current move: stamps every
+  /// communication whose path passes within one hop of it (the set whose
+  /// cached evaluations could have read this load — see file comment). Call
+  /// after apply_rewrite for each link whose value actually changed.
+  void note_load_change(LinkId link);
+
+  /// True iff `link` holds a cached "no improving move" verdict that no
+  /// dirty communication can have invalidated. Members stamped *at* the
+  /// recording epoch were already visible to that evaluation.
+  [[nodiscard]] bool can_skip(LinkId link) const;
+
+  /// Caches "no improving move" for `link` at the current epoch.
+  void record_no_improving_move(LinkId link);
+
+ private:
+  void stamp_core(Coord core);
+
+  const Mesh* mesh_;
+  std::uint64_t epoch_ = 1;                            ///< applied-move counter
+  std::vector<std::vector<std::uint32_t>> members_;    ///< link → crossing comms, sorted
+  std::vector<std::vector<CachedEval>> evals_;         ///< parallel to members_
+  std::vector<std::vector<std::uint32_t>> visitors_;   ///< core → visiting comms
+  std::vector<std::uint64_t> comm_stamp_;              ///< comm → epoch last dirtied
+  std::vector<std::uint64_t> eval_stamp_;              ///< link → epoch of cached verdict
+  std::vector<char> has_verdict_;                      ///< link → verdict cached
+  std::vector<std::uint64_t> core_mark_;               ///< scratch: core stamped this epoch
+};
+
+}  // namespace pamr

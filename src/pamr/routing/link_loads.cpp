@@ -50,9 +50,30 @@ LinkLoads loads_of_routing(const Mesh& mesh, const Routing& routing) {
   return loads;
 }
 
+LoadCost::LoadCost(const PowerModel& model) : model_(&model) {
+  if (!model.discrete()) return;
+  for (const double frequency : model.table()->frequencies()) {
+    level_edges_.push_back(frequency);
+    // Exactly the unmemoized result: any load quantizing to this level gets
+    // link_power(frequency), computed here once through the same code path.
+    level_costs_.push_back(*model.link_power(frequency));
+  }
+}
+
 double LoadCost::operator()(double load) const noexcept {
   if (load <= 0.0) return 0.0;
-  if (const auto power = model_->link_power(load); power.has_value()) return *power;
+  if (!level_edges_.empty()) {
+    // Discrete fast path. A load above the top level always lands in the
+    // penalty branch below, exactly as the unmemoized code: quantize()
+    // returns nullopt there even inside the feasibility tolerance.
+    if (load <= level_edges_.back()) {
+      std::size_t level = 0;
+      while (level_edges_[level] < load) ++level;
+      return level_costs_[level];
+    }
+  } else if (const auto power = model_->link_power(load); power.has_value()) {
+    return *power;
+  }
   // Infeasible: continuous extension of the dynamic curve + linear penalty.
   const PowerParams& params = model_->params();
   const double capacity = model_->capacity();

@@ -44,7 +44,12 @@ class LinkLoads {
 /// Heuristic link-cost oracle (see file comment).
 class LoadCost {
  public:
-  explicit LoadCost(const PowerModel& model) noexcept : model_(&model) {}
+  /// For a discrete model, memoizes the exact per-level link power (the
+  /// cost is a step function with one value per frequency level), so the
+  /// heuristics' innermost loops replace a quantize + std::pow per call
+  /// with a scan over a handful of level edges. Values are computed through
+  /// PowerModel::link_power itself — bit-identical to the unmemoized path.
+  explicit LoadCost(const PowerModel& model);
 
   /// Cost of one link at `load`: the model's power when feasible, the
   /// continuous extension plus a steep overload penalty otherwise; 0 when
@@ -62,6 +67,8 @@ class LoadCost {
 
  private:
   const PowerModel* model_;
+  std::vector<double> level_edges_;  ///< discrete: level frequencies (inclusive tops)
+  std::vector<double> level_costs_;  ///< exact link_power at each level
 };
 
 }  // namespace pamr

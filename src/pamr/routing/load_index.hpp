@@ -41,6 +41,33 @@
 
 namespace pamr {
 
+/// First-touch snapshots of stored link loads across one incremental update
+/// (a PR removal, an XYI move), so the caller can hand LoadIndex::reorder
+/// exactly the links whose stored double actually changed — including the
+/// ulp-sized perturbations a -w/+w round trip can leave on a link both the
+/// old and new state touch (IEEE addition is not associative, and the
+/// reference loops' next sort sees the perturbed bits).
+struct TouchLog {
+  std::vector<LinkId> links;
+  std::vector<double> before;
+  std::vector<char> seen;  ///< indexed by LinkId
+
+  explicit TouchLog(std::size_t num_links) : seen(num_links, 0) {}
+
+  void record(LinkId link, double load) {
+    if (seen[static_cast<std::size_t>(link)] != 0) return;
+    seen[static_cast<std::size_t>(link)] = 1;
+    links.push_back(link);
+    before.push_back(load);
+  }
+
+  void clear() {
+    for (const LinkId link : links) seen[static_cast<std::size_t>(link)] = 0;
+    links.clear();
+    before.clear();
+  }
+};
+
 class LoadIndex {
  public:
   /// Captures the seed's first round: the identity permutation stably

@@ -64,29 +64,6 @@ struct PruneScratch {
       : forward(num_cores, 0), backward(num_cores, 0) {}
 };
 
-/// First-touch snapshots of stored link loads across one removal, so the
-/// incremental loop can re-index exactly the links whose value changed.
-struct TouchLog {
-  std::vector<LinkId> links;
-  std::vector<double> before;
-  std::vector<char> seen;  ///< indexed by LinkId
-
-  explicit TouchLog(std::size_t num_links) : seen(num_links, 0) {}
-
-  void record(LinkId link, double load) {
-    if (seen[static_cast<std::size_t>(link)] != 0) return;
-    seen[static_cast<std::size_t>(link)] = 1;
-    links.push_back(link);
-    before.push_back(load);
-  }
-
-  void clear() {
-    for (const LinkId link : links) seen[static_cast<std::size_t>(link)] = 0;
-    links.clear();
-    before.clear();
-  }
-};
-
 /// Per-communication path-DAG state.
 struct CommState {
   CommRect rect;

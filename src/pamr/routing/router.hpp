@@ -30,12 +30,23 @@ inline constexpr std::size_t kNumBaseRouters = 6;  // all but kBest
 /// The six concrete policies, in the paper's presentation order.
 [[nodiscard]] std::vector<RouterKind> all_base_routers();
 
+/// Diagnostics of a move-based local search (XYI today; policies without
+/// one keep the defaults). `converged == false` means the safety cap
+/// truncated the descent — the routing is still structurally valid but may
+/// be quietly worse than the fixed point, so callers must not read a capped
+/// run as a converged one.
+struct LocalSearchStats {
+  std::size_t moves = 0;  ///< improving moves applied
+  bool converged = true;  ///< false iff the move cap truncated the descent
+};
+
 struct RouteResult {
   std::optional<Routing> routing;  ///< constructed routing (may be invalid)
   bool valid = false;              ///< feasibility under the model
   double power = 0.0;              ///< total power, defined iff valid
   PowerBreakdown breakdown;        ///< static/dynamic split, defined iff valid
   double elapsed_ms = 0.0;         ///< wall-clock construction time
+  LocalSearchStats local_search;   ///< local-search diagnostics (XYI)
 
   /// The paper's plotted metric: 1/P for a valid routing, 0 on failure.
   [[nodiscard]] double inverse_power() const noexcept {

@@ -53,15 +53,48 @@ class TwoBendRouter final : public Router {
                                        const PowerModel& model) const override;
 };
 
+/// Test/diagnostic hook for XYImproverRouter: while attached, both modes
+/// append the penalized LoadCost total after every applied move, so tests
+/// can assert the descent is strictly decreasing. The measurement is
+/// O(links) per move — leave unset outside tests.
+struct XyiTrace {
+  std::vector<double> penalized_totals;
+};
+
 /// XYI — XY improver (§5.4): local search from the XY routing, unloading
 /// the most-loaded links via elementary staircase detours.
 class XYImproverRouter final : public Router {
  public:
+  /// Implementation selector, mirroring PathRemoverRouter. kIncremental
+  /// (default) drives the descent through a CrossingIndex (link→crossing
+  /// communications, per-core dirty stamping, no-improving-move
+  /// memoization) plus a LoadIndex (merge-maintained hot-link order);
+  /// kReference is the seed's loop — a full stable_sort of every mesh link
+  /// and an every-communication rescan per move — kept for differential
+  /// testing. Both produce bit-identical routings, including the
+  /// stable-sort tie-break order and the paper's preferred-side-first move
+  /// priority (see xy_moves.hpp and crossing_index.hpp).
+  enum class Mode : std::uint8_t { kIncremental, kReference };
+
+  explicit XYImproverRouter(Mode mode = Mode::kIncremental) noexcept : mode_(mode) {}
+
   [[nodiscard]] const char* name() const noexcept override { return "XYI"; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
+
+  void set_trace(XyiTrace* trace) noexcept { trace_ = trace; }
 
  protected:
   [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
                                        const PowerModel& model) const override;
+
+ private:
+  [[nodiscard]] RouteResult route_incremental(const Mesh& mesh, const CommSet& comms,
+                                              const PowerModel& model) const;
+  [[nodiscard]] RouteResult route_reference(const Mesh& mesh, const CommSet& comms,
+                                            const PowerModel& model) const;
+
+  Mode mode_;
+  XyiTrace* trace_ = nullptr;
 };
 
 /// PR — path remover (§5.5): starts from the all-paths virtual spread and

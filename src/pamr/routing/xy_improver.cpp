@@ -20,75 +20,30 @@
 // (penalized) power strictly decreases with every move, so the search
 // terminates; each communication admits at most O(p·q) candidate moves per
 // round, matching the paper's bound.
+//
+// The candidate enumeration and move application are shared with the
+// incremental implementation via xy_moves.hpp. This file holds the mode
+// dispatch and route_reference — the seed's loop, kept selectable
+// (Mode::kReference) as the ground truth for the differential suite;
+// route_incremental lives in xy_improver_incremental.cpp.
 #include <algorithm>
-#include <limits>
 #include <numeric>
 
 #include "pamr/routing/link_loads.hpp"
 #include "pamr/routing/routers.hpp"
-#include "pamr/util/assert.hpp"
+#include "pamr/routing/xy_moves.hpp"
 #include "pamr/util/timer.hpp"
 
 namespace pamr {
 
-namespace {
-
-struct Move {
-  std::size_t comm = 0;
-  std::vector<Coord> new_cores;
-  double delta = std::numeric_limits<double>::infinity();
-};
-
-/// Rotates the step block [j, i] of `cores` so that the step at one end
-/// moves to the other end (shifting the perpendicular run by one lane).
-/// `forward` = false: step j moves after steps j+1..i (swap with earlier
-/// perpendicular); `forward` = true: step i moves before steps j..i-1.
-std::vector<Coord> rotate_block(const std::vector<Coord>& cores, std::size_t j,
-                                std::size_t i, bool forward) {
-  // Steps are cores[k] -> cores[k+1]; rebuild the cores between j and i+1.
-  std::vector<Coord> out(cores.begin(), cores.begin() + static_cast<std::ptrdiff_t>(j) + 1);
-  auto apply_step = [&](std::size_t k) {
-    const Coord delta{cores[k + 1].u - cores[k].u, cores[k + 1].v - cores[k].v};
-    out.push_back({out.back().u + delta.u, out.back().v + delta.v});
-  };
-  if (forward) {
-    apply_step(i);
-    for (std::size_t k = j; k < i; ++k) apply_step(k);
-  } else {
-    for (std::size_t k = j + 1; k <= i; ++k) apply_step(k);
-    apply_step(j);
-  }
-  out.insert(out.end(), cores.begin() + static_cast<std::ptrdiff_t>(i) + 2, cores.end());
-  PAMR_ASSERT(out.size() == cores.size());
-  return out;
-}
-
-/// Cost delta of replacing the links of `before` with those of `after`
-/// (identical prefixes/suffixes cancel exactly because their loads are
-/// untouched; changed links of a monotone rewrite are disjoint).
-double path_swap_delta(const Mesh& mesh, const std::vector<Coord>& before,
-                       const std::vector<Coord>& after, double weight,
-                       const LinkLoads& loads, const LoadCost& cost) {
-  double delta = 0.0;
-  for (std::size_t k = 0; k + 1 < before.size(); ++k) {
-    if (before[k] == after[k] && before[k + 1] == after[k + 1]) continue;
-    const LinkId removed = mesh.link_between(before[k], before[k + 1]);
-    const LinkId added = mesh.link_between(after[k], after[k + 1]);
-    if (removed == added) continue;
-    delta += cost.delta(loads.load(removed), loads.load(removed) - weight);
-    delta += cost.delta(loads.load(added), loads.load(added) + weight);
-  }
-  return delta;
-}
-
-bool step_is_vertical(const std::vector<Coord>& cores, std::size_t k) {
-  return cores[k].v == cores[k + 1].v;
-}
-
-}  // namespace
-
 RouteResult XYImproverRouter::route_impl(const Mesh& mesh, const CommSet& comms,
-                                    const PowerModel& model) const {
+                                         const PowerModel& model) const {
+  return mode_ == Mode::kReference ? route_reference(mesh, comms, model)
+                                   : route_incremental(mesh, comms, model);
+}
+
+RouteResult XYImproverRouter::route_reference(const Mesh& mesh, const CommSet& comms,
+                                              const PowerModel& model) const {
   const WallTimer timer;
   const LoadCost cost(model);
 
@@ -110,58 +65,21 @@ RouteResult XYImproverRouter::route_impl(const Mesh& mesh, const CommSet& comms,
   };
   resort();
 
-  const std::size_t kMaxMoves = 100000;  // safety net, never reached in practice
+  const std::size_t cap = xyi::move_cap(mesh, comms.size());
   std::size_t moves = 0;
   std::size_t cursor = 0;
-  while (cursor < order.size() && moves < kMaxMoves) {
+  while (cursor < order.size() && moves < cap) {
     const LinkId hot = order[cursor];
     if (loads.load(hot) <= 0.0) break;  // remaining links are idle
     const LinkInfo& hot_info = mesh.link(hot);
-    const bool hot_vertical = !hot_info.horizontal();
 
-    Move best;
+    xyi::Move best;
     for (std::size_t ci = 0; ci < comms.size(); ++ci) {
-      const auto& cores = paths[ci];
-      for (std::size_t i = 0; i + 1 < cores.size(); ++i) {
-        if (cores[i] != hot_info.from || cores[i + 1] != hot_info.to) continue;
-
-        auto consider = [&](std::vector<Coord> candidate) {
-          const double delta =
-              path_swap_delta(mesh, cores, candidate, comms[ci].weight, loads, cost);
-          if (delta < best.delta) {
-            best = Move{ci, std::move(candidate), delta};
-          }
-        };
-        // Nearest perpendicular step on each side of the hot step.
-        std::size_t prev = i;
-        while (prev > 0 && step_is_vertical(cores, prev - 1) == hot_vertical) --prev;
-        const bool has_prev =
-            prev > 0 && step_is_vertical(cores, prev - 1) != hot_vertical;
-        std::size_t next = i;
-        while (next + 2 < cores.size() &&
-               step_is_vertical(cores, next + 1) == hot_vertical) {
-          ++next;
-        }
-        const bool has_next = next + 2 < cores.size() &&
-                              step_is_vertical(cores, next + 1) != hot_vertical;
-        // Swapping with a preceding perpendicular step moves it to the end
-        // of the block (forward=false) so the whole run shifts one lane
-        // toward the source; a following step moves to the front
-        // (forward=true). The other direction would recreate the hot link.
-        // Paper's preferred side first: source side for vertical hot links,
-        // sink side for horizontal ones (ties keep the first candidate).
-        if (hot_vertical) {
-          if (has_prev) consider(rotate_block(cores, prev - 1, i, /*forward=*/false));
-          if (has_next) consider(rotate_block(cores, i, next + 1, /*forward=*/true));
-        } else {
-          if (has_next) consider(rotate_block(cores, i, next + 1, /*forward=*/true));
-          if (has_prev) consider(rotate_block(cores, prev - 1, i, /*forward=*/false));
-        }
-        break;  // a monotone path crosses a given link at most once
-      }
+      xyi::consider_crossing(mesh, hot_info, paths[ci], ci, comms[ci].weight, loads,
+                             cost, best);
     }
 
-    if (best.delta < -1e-12) {
+    if (best.delta < -xyi::kImproveEps) {
       auto& cores = paths[best.comm];
       const double weight = comms[best.comm].weight;
       for (std::size_t k = 0; k + 1 < cores.size(); ++k) {
@@ -172,6 +90,9 @@ RouteResult XYImproverRouter::route_impl(const Mesh& mesh, const CommSet& comms,
         loads.add(mesh.link_between(cores[k], cores[k + 1]), weight);
       }
       ++moves;
+      if (trace_ != nullptr) {
+        trace_->penalized_totals.push_back(cost.total(loads.values()));
+      }
       resort();
       cursor = 0;
     } else {
@@ -182,9 +103,11 @@ RouteResult XYImproverRouter::route_impl(const Mesh& mesh, const CommSet& comms,
   std::vector<Path> final_paths;
   final_paths.reserve(comms.size());
   for (const auto& cores : paths) final_paths.push_back(path_from_cores(mesh, cores));
-  return finish(mesh, comms, model,
-                make_single_path_routing(comms, std::move(final_paths)),
-                timer.elapsed_ms());
+  RouteResult result = finish(mesh, comms, model,
+                              make_single_path_routing(comms, std::move(final_paths)),
+                              timer.elapsed_ms());
+  xyi::finish_search_stats(result, mesh, comms.size(), moves, cap);
+  return result;
 }
 
 }  // namespace pamr

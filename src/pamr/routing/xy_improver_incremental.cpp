@@ -1,0 +1,152 @@
+// XYI — incremental implementation (the default Mode::kIncremental).
+//
+// The reference loop (xy_improver.cpp) pays three scans per round: a
+// stable_sort of every mesh link to find the hot one, a scan of every
+// communication's full path to find the crossings, and — because the cursor
+// restarts at 0 after every applied move — a re-evaluation of every
+// hot-prefix link that was already known to have no improving move. This
+// file removes all three without changing a single decision:
+//
+//   * hot-link order: a LoadIndex (the PR remover's merge-maintained sorted
+//     order) re-sorted only for the links whose stored load actually
+//     changed under a move. The seed's stable_sort of a persistent order
+//     vector makes the tie-break history-dependent; LoadIndex::reorder
+//     reproduces it bit for bit (see load_index.hpp).
+//   * crossings: a CrossingIndex maps each link to the communications whose
+//     current path crosses it, in ascending order — the reference's scan
+//     order — and is patched per move from the rewritten window only.
+//   * dirty-move memoization, at two granularities: a link whose evaluation
+//     found no improving move is skipped on later passes until some
+//     communication it could consider is stamped dirty (path rewritten, or
+//     a load its candidate evaluations could read changed); and when a link IS
+//     re-evaluated, each member's best candidate rotation is cached per
+//     (link, member) slot, so only the dirty members recompute — the fresh
+//     ones fold in their cached delta. The stamp rule makes both caches
+//     exact, not heuristic — see crossing_index.hpp for the argument. The
+//     windowed allocation-free evaluation itself is xy_moves.hpp's
+//     best_candidate, pinned against the seed arithmetic by the
+//     differential suite.
+//
+// Load arithmetic follows the reference exactly: a move subtracts the
+// weight from every old-path link and adds it to every new-path link, so
+// shared links take the same -w/+w round trip (which can shift a stored
+// double by an ulp) and the next reorder sees the same bits in both modes.
+#include "pamr/routing/crossing_index.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/load_index.hpp"
+#include "pamr/routing/routers.hpp"
+#include "pamr/routing/xy_moves.hpp"
+#include "pamr/util/assert.hpp"
+#include "pamr/util/timer.hpp"
+
+namespace pamr {
+
+RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet& comms,
+                                                const PowerModel& model) const {
+  const WallTimer timer;
+  const LoadCost cost(model);
+
+  std::vector<std::vector<Coord>> paths;
+  paths.reserve(comms.size());
+  LinkLoads loads(mesh);
+  for (const Communication& comm : comms) {
+    const Path path = xy_path(mesh, comm.src, comm.snk);
+    paths.push_back(cores_of_path(mesh, path));
+    loads.add_path(path, comm.weight);
+  }
+
+  // == the reference's first resort(): identity order stably sorted by the
+  // initial loads.
+  LoadIndex index(mesh.num_links(), loads);
+  CrossingIndex crossings(mesh, comms.size());
+  for (std::size_t ci = 0; ci < comms.size(); ++ci) {
+    crossings.add_initial_path(static_cast<std::uint32_t>(ci), paths[ci]);
+  }
+
+  const std::size_t cap = xyi::move_cap(mesh, comms.size());
+  std::size_t moves = 0;
+  TouchLog log(static_cast<std::size_t>(mesh.num_links()));
+  std::vector<LinkId> changed;
+  std::vector<Coord> old_cores;
+
+  std::size_t at = 0;
+  while (at < index.size() && moves < cap) {
+    const LinkId hot = index.link_at(at);
+    if (loads.load(hot) <= 0.0) break;  // remaining links are idle
+    if (crossings.can_skip(hot)) {
+      ++at;
+      continue;
+    }
+    const LinkInfo& hot_info = mesh.link(hot);
+    const bool hot_vertical = !hot_info.horizontal();
+
+    // Ascending-member scan with strict < — the reference's order and
+    // tie-break — folding cached candidate deltas for fresh members and
+    // recomputing only the dirty ones.
+    xyi::Candidate best;
+    std::size_t best_comm = comms.size();
+    const auto& member_list = crossings.members(hot);
+    auto& slots = crossings.eval_slots(hot);
+    for (std::size_t m = 0; m < member_list.size(); ++m) {
+      const std::uint32_t ci = member_list[m];
+      CrossingIndex::CachedEval& slot = slots[m];
+      if (!crossings.slot_fresh(slot, ci)) {
+        const std::size_t pos = xyi::crossing_position(paths[ci], hot_info);
+        PAMR_ASSERT(pos != xyi::kNoCrossing);
+        slot.candidate = xyi::best_candidate(mesh, paths[ci], pos, hot_vertical,
+                                             comms[ci].weight, loads, cost);
+        slot.stamp = crossings.epoch();
+      }
+      if (slot.candidate.delta < best.delta) {
+        best = slot.candidate;
+        best_comm = ci;
+      }
+    }
+
+    if (best.delta < -xyi::kImproveEps) {
+      old_cores = std::move(paths[best_comm]);
+      paths[best_comm] = xyi::materialize(old_cores, best);
+      const auto& cores = paths[best_comm];
+      const double weight = comms[best_comm].weight;
+      for (std::size_t k = 0; k + 1 < old_cores.size(); ++k) {
+        const LinkId link = mesh.link_between(old_cores[k], old_cores[k + 1]);
+        log.record(link, loads.load(link));
+        loads.add(link, -weight);
+      }
+      for (std::size_t k = 0; k + 1 < cores.size(); ++k) {
+        const LinkId link = mesh.link_between(cores[k], cores[k + 1]);
+        log.record(link, loads.load(link));
+        loads.add(link, weight);
+      }
+      ++moves;
+      crossings.apply_rewrite(static_cast<std::uint32_t>(best_comm), old_cores, cores);
+      changed.clear();
+      for (std::size_t i = 0; i < log.links.size(); ++i) {
+        if (loads.load(log.links[i]) != log.before[i]) {
+          changed.push_back(log.links[i]);
+          crossings.note_load_change(log.links[i]);
+        }
+      }
+      index.reorder(changed, loads);
+      log.clear();
+      if (trace_ != nullptr) {
+        trace_->penalized_totals.push_back(cost.total(loads.values()));
+      }
+      at = 0;
+    } else {
+      crossings.record_no_improving_move(hot);
+      ++at;
+    }
+  }
+
+  std::vector<Path> final_paths;
+  final_paths.reserve(comms.size());
+  for (const auto& cores : paths) final_paths.push_back(path_from_cores(mesh, cores));
+  RouteResult result = finish(mesh, comms, model,
+                              make_single_path_routing(comms, std::move(final_paths)),
+                              timer.elapsed_ms());
+  xyi::finish_search_stats(result, mesh, comms.size(), moves, cap);
+  return result;
+}
+
+}  // namespace pamr

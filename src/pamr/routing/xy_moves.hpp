@@ -1,0 +1,110 @@
+// Shared move machinery of the XYI local search (paper §5.4), used by both
+// XYImproverRouter implementations — xy_improver.cpp's reference loop and
+// xy_improver_incremental.cpp's index-driven loop. Candidate enumeration
+// order, the block rotation that realizes a move, and the exact cost delta
+// of a rewrite live here once, so the two modes agree bit for bit: same
+// preferred-side-first candidate order, same strict-< tie-breaking (first
+// candidate wins), same floating-point evaluation order.
+//
+// Two evaluation paths exist on purpose. The reference one (path_swap_delta
+// over a materialized rotate_block) is the seed's literal arithmetic; the
+// incremental one (best_candidate) walks only the rotated window and never
+// allocates — the rotated run is the old run shifted by one unit step, so
+// every changed link and its load term can be produced in the same
+// ascending-k order path_swap_delta uses, term for term. The differential
+// suite (tests/test_xy_improver.cpp) holds the two equal on every instance,
+// which is why the reference must NOT share the windowed shortcut: it is
+// the ground truth the shortcut is checked against.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "pamr/mesh/mesh.hpp"
+#include "pamr/routing/link_loads.hpp"
+#include "pamr/routing/router.hpp"
+
+namespace pamr::xyi {
+
+/// Improvement threshold: a move is applied iff delta < -kImproveEps, so
+/// zero-delta rewrites never cycle and the descent terminates.
+inline constexpr double kImproveEps = 1e-12;
+
+inline constexpr std::size_t kNoCrossing = static_cast<std::size_t>(-1);
+
+/// A candidate block rotation of one path: steps [j, i] rotate so the step
+/// at one end moves to the other (forward: step i to the front; backward:
+/// step j to the back). `delta` is its exact penalized-cost change at the
+/// loads it was evaluated under; +inf means "no candidate".
+struct Candidate {
+  double delta = std::numeric_limits<double>::infinity();
+  std::uint32_t j = 0;
+  std::uint32_t i = 0;
+  bool forward = false;
+};
+
+/// The best candidate across all communications crossing the hot link
+/// (reference loop) — materialized lazily by the caller.
+struct Move {
+  std::size_t comm = 0;
+  std::vector<Coord> new_cores;
+  double delta = std::numeric_limits<double>::infinity();
+};
+
+/// Rotates the step block [j, i] of `cores` so that the step at one end
+/// moves to the other end (shifting the perpendicular run by one lane).
+/// `forward` = false: step j moves after steps j+1..i (swap with earlier
+/// perpendicular); `forward` = true: step i moves before steps j..i-1.
+[[nodiscard]] std::vector<Coord> rotate_block(const std::vector<Coord>& cores,
+                                              std::size_t j, std::size_t i, bool forward);
+
+/// Cost delta of replacing the links of `before` with those of `after`
+/// (identical prefixes/suffixes cancel exactly because their loads are
+/// untouched; changed links of a monotone rewrite are disjoint).
+[[nodiscard]] double path_swap_delta(const Mesh& mesh, const std::vector<Coord>& before,
+                                     const std::vector<Coord>& after, double weight,
+                                     const LinkLoads& loads, const LoadCost& cost);
+
+/// If the path `cores` of communication `ci` crosses the hot link described
+/// by `hot_info`, evaluates its (at most two) candidate rotations — the
+/// paper's preferred side first: source side for a vertical hot link, sink
+/// side for a horizontal one — and lowers `best` on strict improvement
+/// (ties keep the earlier candidate). The reference evaluation: each
+/// candidate is materialized via rotate_block and costed via
+/// path_swap_delta, exactly as the seed did.
+void consider_crossing(const Mesh& mesh, const LinkInfo& hot_info,
+                       const std::vector<Coord>& cores, std::size_t ci, double weight,
+                       const LinkLoads& loads, const LoadCost& cost, Move& best);
+
+/// Index of the step of `cores` traversing the hot link, or kNoCrossing —
+/// a monotone path crosses a given link at most once.
+[[nodiscard]] std::size_t crossing_position(const std::vector<Coord>& cores,
+                                            const LinkInfo& hot_info);
+
+/// Best candidate rotation (preferred-side-first, strict <) for the path
+/// `cores` crossing the hot step at `pos`. Windowed evaluation: walks only
+/// the rotated block, allocation-free, reproducing path_swap_delta's
+/// floating-point accumulation term for term.
+[[nodiscard]] Candidate best_candidate(const Mesh& mesh, const std::vector<Coord>& cores,
+                                       std::size_t pos, bool hot_vertical, double weight,
+                                       const LinkLoads& loads, const LoadCost& cost);
+
+/// Materializes a finite candidate into the rewritten core sequence.
+[[nodiscard]] std::vector<Coord> materialize(const std::vector<Coord>& cores,
+                                             const Candidate& cand);
+
+/// Safety cap on applied moves, scaled with problem size (links × nc) and
+/// floored at the seed's fixed 100000 so small instances keep the old
+/// headroom. Hitting it means the descent was truncated — callers must
+/// report that (RouteResult::local_search), never swallow it.
+[[nodiscard]] std::size_t move_cap(const Mesh& mesh, std::size_t num_comms);
+
+/// Stamps RouteResult::local_search with (moves, converged) and logs a
+/// warning when the cap truncated the descent — shared by both modes so a
+/// capped run never returns silently.
+void finish_search_stats(RouteResult& result, const Mesh& mesh, std::size_t num_comms,
+                         std::size_t moves, std::size_t cap);
+
+}  // namespace pamr::xyi

@@ -8,56 +8,101 @@
 
 namespace pamr {
 
+namespace {
+
+/// Flag environment values: 1/true/yes/on set, 0/false/no/off clear,
+/// anything else is ignored (the registered default stands).
+bool parse_flag_value(const std::string& value, bool& out) {
+  const std::string v = to_lower(trim(value));
+  if (v == "1" || v == "true" || v == "yes" || v == "on") {
+    out = true;
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") {
+    out = false;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 ArgParser::ArgParser(std::string program, std::string description)
     : program_(std::move(program)), description_(std::move(description)) {}
 
+void ArgParser::register_option(Option opt) {
+  PAMR_CHECK(find(opt.name) == nullptr, "duplicate option --" + opt.name);
+  // The environment fallback replaces the registered default — uniformly
+  // for every kind, so PAMR_*-style overrides never silently no-op — and an
+  // explicit command-line value later overwrites it in parse().
+  if (!opt.env.empty()) {
+    if (const char* value = std::getenv(opt.env.c_str())) {
+      switch (opt.kind) {
+        case Kind::kInt: {
+          std::int64_t parsed = 0;
+          if (parse_int64(value, parsed)) opt.int_value = parsed;
+          break;
+        }
+        case Kind::kDouble: {
+          double parsed = 0.0;
+          if (parse_double(value, parsed)) opt.double_value = parsed;
+          break;
+        }
+        case Kind::kString:
+          opt.string_value = value;
+          break;
+        case Kind::kFlag: {
+          bool parsed = false;
+          if (parse_flag_value(value, parsed)) opt.flag_value = parsed;
+          break;
+        }
+      }
+    }
+  }
+  options_.push_back(std::move(opt));
+}
+
 void ArgParser::add_int(const std::string& name, std::int64_t default_value,
                         const std::string& help, const std::string& env) {
-  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
   Option opt;
   opt.name = name;
   opt.kind = Kind::kInt;
   opt.help = help;
   opt.env = env;
   opt.int_value = default_value;
-  if (!env.empty()) {
-    if (const char* value = std::getenv(env.c_str())) {
-      std::int64_t parsed = 0;
-      if (parse_int64(value, parsed)) opt.int_value = parsed;
-    }
-  }
-  options_.push_back(std::move(opt));
+  register_option(std::move(opt));
 }
 
 void ArgParser::add_double(const std::string& name, double default_value,
-                           const std::string& help) {
-  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
+                           const std::string& help, const std::string& env) {
   Option opt;
   opt.name = name;
   opt.kind = Kind::kDouble;
   opt.help = help;
+  opt.env = env;
   opt.double_value = default_value;
-  options_.push_back(std::move(opt));
+  register_option(std::move(opt));
 }
 
 void ArgParser::add_string(const std::string& name, const std::string& default_value,
-                           const std::string& help) {
-  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
+                           const std::string& help, const std::string& env) {
   Option opt;
   opt.name = name;
   opt.kind = Kind::kString;
   opt.help = help;
+  opt.env = env;
   opt.string_value = default_value;
-  options_.push_back(std::move(opt));
+  register_option(std::move(opt));
 }
 
-void ArgParser::add_flag(const std::string& name, const std::string& help) {
-  PAMR_CHECK(find(name) == nullptr, "duplicate option --" + name);
+void ArgParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& env) {
   Option opt;
   opt.name = name;
   opt.kind = Kind::kFlag;
   opt.help = help;
-  options_.push_back(std::move(opt));
+  opt.env = env;
+  register_option(std::move(opt));
 }
 
 ArgParser::Option* ArgParser::find(const std::string& name) {
@@ -107,13 +152,15 @@ bool ArgParser::parse(int argc, const char* const* argv, int& exit_code) {
       return false;
     }
     if (opt->kind == Kind::kFlag) {
-      if (has_value) {
-        std::fprintf(stderr, "%s: flag '--%s' takes no value\n", program_.c_str(),
-                     token.c_str());
+      // --flag sets; --flag=0/false/no/off clears, so an environment-enabled
+      // flag can still be switched off for one invocation.
+      if (has_value && !parse_flag_value(value, opt->flag_value)) {
+        std::fprintf(stderr, "%s: bad value '%s' for flag '--%s'\n", program_.c_str(),
+                     value.c_str(), token.c_str());
         exit_code = 2;
         return false;
       }
-      opt->flag_value = true;
+      if (!has_value) opt->flag_value = true;
       continue;
     }
     if (!has_value) {
@@ -171,20 +218,20 @@ std::string ArgParser::help_text() const {
   std::string out = program_ + " — " + description_ + "\n\noptions:\n";
   for (const auto& opt : options_) {
     out += "  --" + opt.name;
+    const std::string env_note = opt.env.empty() ? "" : ", env " + opt.env;
     switch (opt.kind) {
       case Kind::kInt:
-        out += " <int>      (default " + std::to_string(opt.int_value);
-        if (!opt.env.empty()) out += ", env " + opt.env;
-        out += ")";
+        out += " <int>      (default " + std::to_string(opt.int_value) + env_note + ")";
         break;
       case Kind::kDouble:
-        out += " <float>    (default " + format_double(opt.double_value, 3) + ")";
+        out += " <float>    (default " + format_double(opt.double_value, 3) +
+               env_note + ")";
         break;
       case Kind::kString:
-        out += " <string>   (default '" + opt.string_value + "')";
+        out += " <string>   (default '" + opt.string_value + "'" + env_note + ")";
         break;
       case Kind::kFlag:
-        out += "            (flag)";
+        out += "            (flag" + env_note + ")";
         break;
     }
     out += "\n      " + opt.help + "\n";

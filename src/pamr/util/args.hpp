@@ -1,9 +1,12 @@
 // Tiny declarative CLI parser for the bench and example binaries.
 //
-// Supported syntax: --name value, --name=value, --flag. Every binary also
-// honours --help (prints registered options and exits 0). Integer options
-// fall back to a same-named environment variable (upper-snake, PAMR_
-// prefix), which is how PAMR_TRIALS scales the Monte-Carlo campaigns.
+// Supported syntax: --name value, --name=value, --flag (and --flag=<bool>
+// to clear one). Every binary also honours --help (prints registered
+// options and exits 0). Every option kind can fall back to an environment
+// variable (upper-snake, PAMR_ prefix by convention), which is how
+// PAMR_TRIALS scales the Monte-Carlo campaigns; an explicit command-line
+// value always wins over the environment — including `--flag=off` to
+// disable an environment-enabled flag for one invocation.
 #pragma once
 
 #include <cstdint>
@@ -18,13 +21,18 @@ class ArgParser {
   ArgParser(std::string program, std::string description);
 
   /// Registration: call before parse(). `env` (optional) names an
-  /// environment variable consulted when the option is absent.
+  /// environment variable consulted when the option is absent on the
+  /// command line — supported uniformly by every option kind. Unparsable
+  /// environment values are ignored (the default stands); flags accept
+  /// 1/true/yes/on and 0/false/no/off, case-insensitive.
   void add_int(const std::string& name, std::int64_t default_value,
                const std::string& help, const std::string& env = {});
-  void add_double(const std::string& name, double default_value, const std::string& help);
+  void add_double(const std::string& name, double default_value, const std::string& help,
+                  const std::string& env = {});
   void add_string(const std::string& name, const std::string& default_value,
-                  const std::string& help);
-  void add_flag(const std::string& name, const std::string& help);
+                  const std::string& help, const std::string& env = {});
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& env = {});
 
   /// Parses argv. Returns false if the program should exit (after --help or
   /// a reported error); `exit_code` is set accordingly.
@@ -53,6 +61,7 @@ class ArgParser {
 
   [[nodiscard]] Option* find(const std::string& name);
   [[nodiscard]] const Option* find_checked(const std::string& name, Kind kind) const;
+  void register_option(Option opt);  ///< applies the env fallback, then stores
 
   std::string program_;
   std::string description_;

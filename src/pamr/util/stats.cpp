@@ -63,10 +63,12 @@ void Histogram::add(double x) noexcept {
   if (x < lo_) {
     ++underflow_;
     bin = 0;
-  } else if (x >= hi_) {
+  } else if (x > hi_) {
     ++overflow_;
     bin = counts_.size() - 1;
   } else {
+    // x == hi_ belongs to the last bin (t == 1 is clamped below), not to
+    // overflow: the configured range is inclusive at the top edge.
     const double t = (x - lo_) / (hi_ - lo_);
     bin = std::min(counts_.size() - 1,
                    static_cast<std::size_t>(t * static_cast<double>(counts_.size())));

@@ -63,8 +63,10 @@ class RunningStats {
   double max_ = 0.0;
 };
 
-/// Fixed-range, fixed-bin histogram. Out-of-range samples are clamped into
-/// the first/last bin (and counted separately) so that totals always match.
+/// Fixed-range, fixed-bin histogram over [lo, hi] — inclusive at both
+/// edges, so a sample exactly at `hi` lands in the last bin without an
+/// overflow tick. Out-of-range samples are clamped into the first/last bin
+/// (and counted separately) so that totals always match.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);

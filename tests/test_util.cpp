@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <set>
 #include <stdexcept>
 #include <vector>
@@ -157,6 +158,23 @@ TEST(Histogram, ClampsOutOfRange) {
   EXPECT_EQ(hist.count(3), 1u);
 }
 
+TEST(Histogram, TopEdgeIsInclusive) {
+  // Regression: a sample exactly at the configured upper edge lands in the
+  // last bin — it is inside the configured range, not overflow.
+  Histogram hist(0.0, 10.0, 5);
+  hist.add(10.0);
+  EXPECT_EQ(hist.overflow(), 0u);
+  EXPECT_EQ(hist.count(4), 1u);
+  EXPECT_EQ(hist.total(), 1u);
+  // The bottom edge was always inclusive; the next representable value
+  // above hi still overflows.
+  hist.add(0.0);
+  EXPECT_EQ(hist.underflow(), 0u);
+  EXPECT_EQ(hist.count(0), 1u);
+  hist.add(std::nextafter(10.0, 11.0));
+  EXPECT_EQ(hist.overflow(), 1u);
+}
+
 TEST(Stats, MeanAndMedian) {
   EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0, 4.0}), 2.5);
   EXPECT_DOUBLE_EQ(median_of({5.0, 1.0, 3.0}), 3.0);
@@ -254,6 +272,87 @@ TEST(Args, RejectsUnknownAndBadValues) {
   const char* bad_value[] = {"prog", "--count", "many"};
   EXPECT_FALSE(parser.parse(3, bad_value, exit_code));
   EXPECT_EQ(exit_code, 2);
+}
+
+TEST(Args, EnvFallbackCoversAllOptionKinds) {
+  ::setenv("PAMR_TEST_COUNT", "11", 1);
+  ::setenv("PAMR_TEST_RATIO", "0.75", 1);
+  ::setenv("PAMR_TEST_MODE", "slow", 1);
+  ::setenv("PAMR_TEST_VERBOSE", "on", 1);
+  ArgParser parser("prog", "test");
+  parser.add_int("count", 5, "a count", "PAMR_TEST_COUNT");
+  parser.add_double("ratio", 0.5, "a ratio", "PAMR_TEST_RATIO");
+  parser.add_string("mode", "fast", "a mode", "PAMR_TEST_MODE");
+  parser.add_flag("verbose", "chatty", "PAMR_TEST_VERBOSE");
+  const char* argv[] = {"prog"};
+  int exit_code = -1;
+  ASSERT_TRUE(parser.parse(1, argv, exit_code));
+  EXPECT_EQ(parser.get_int("count"), 11);
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 0.75);
+  EXPECT_EQ(parser.get_string("mode"), "slow");
+  EXPECT_TRUE(parser.get_flag("verbose"));
+  ::unsetenv("PAMR_TEST_COUNT");
+  ::unsetenv("PAMR_TEST_RATIO");
+  ::unsetenv("PAMR_TEST_MODE");
+  ::unsetenv("PAMR_TEST_VERBOSE");
+}
+
+TEST(Args, CommandLineBeatsEnvironment) {
+  ::setenv("PAMR_TEST_RATIO", "0.75", 1);
+  ::setenv("PAMR_TEST_VERBOSE", "off", 1);
+  ArgParser parser("prog", "test");
+  parser.add_double("ratio", 0.5, "a ratio", "PAMR_TEST_RATIO");
+  parser.add_flag("verbose", "chatty", "PAMR_TEST_VERBOSE");
+  const char* argv[] = {"prog", "--ratio=0.125", "--verbose"};
+  int exit_code = -1;
+  ASSERT_TRUE(parser.parse(3, argv, exit_code));
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 0.125);
+  EXPECT_TRUE(parser.get_flag("verbose"));
+  ::unsetenv("PAMR_TEST_RATIO");
+  ::unsetenv("PAMR_TEST_VERBOSE");
+}
+
+TEST(Args, FlagValueSyntaxCanClearAnEnvEnabledFlag) {
+  ::setenv("PAMR_TEST_VERBOSE", "1", 1);
+  ArgParser parser("prog", "test");
+  parser.add_flag("verbose", "chatty", "PAMR_TEST_VERBOSE");
+  const char* argv[] = {"prog", "--verbose=off"};
+  int exit_code = -1;
+  ASSERT_TRUE(parser.parse(2, argv, exit_code));
+  EXPECT_FALSE(parser.get_flag("verbose"));
+  // An unparsable explicit flag value is an error, not a silent ignore.
+  ArgParser strict("prog", "test");
+  strict.add_flag("verbose", "chatty");
+  const char* bad[] = {"prog", "--verbose=maybe"};
+  EXPECT_FALSE(strict.parse(2, bad, exit_code));
+  EXPECT_EQ(exit_code, 2);
+  ::unsetenv("PAMR_TEST_VERBOSE");
+}
+
+TEST(Args, UnparsableEnvValuesKeepDefaults) {
+  ::setenv("PAMR_TEST_RATIO", "fast-ish", 1);
+  ::setenv("PAMR_TEST_VERBOSE", "maybe", 1);
+  ArgParser parser("prog", "test");
+  parser.add_double("ratio", 0.5, "a ratio", "PAMR_TEST_RATIO");
+  parser.add_flag("verbose", "chatty", "PAMR_TEST_VERBOSE");
+  const char* argv[] = {"prog"};
+  int exit_code = -1;
+  ASSERT_TRUE(parser.parse(1, argv, exit_code));
+  EXPECT_DOUBLE_EQ(parser.get_double("ratio"), 0.5);
+  EXPECT_FALSE(parser.get_flag("verbose"));
+  ::unsetenv("PAMR_TEST_RATIO");
+  ::unsetenv("PAMR_TEST_VERBOSE");
+}
+
+TEST(Args, HelpTextNamesEnvForEveryKind) {
+  ArgParser parser("prog", "test");
+  parser.add_double("ratio", 0.5, "a ratio", "PAMR_TEST_RATIO");
+  parser.add_string("mode", "fast", "a mode", "PAMR_TEST_MODE");
+  parser.add_flag("verbose", "chatty", "PAMR_TEST_VERBOSE");
+  const std::string help = parser.help_text();
+  EXPECT_NE(help.find("env PAMR_TEST_RATIO"), std::string::npos);
+  EXPECT_NE(help.find("env PAMR_TEST_MODE"), std::string::npos);
+  EXPECT_NE(help.find("env PAMR_TEST_VERBOSE"), std::string::npos);
 }
 
 TEST(Args, HelpStopsParsing) {

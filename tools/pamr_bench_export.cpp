@@ -1,9 +1,12 @@
 // Perf-trajectory exporter: times the micro_heuristics matrix with plain
 // wall clocks and dumps one JSON document, so every PR can regenerate a
-// comparable baseline (BENCH_2.json in the repo root is the one recorded
-// when the incremental PR removal loop landed).
+// comparable baseline. BENCH_2.json in the repo root was recorded when the
+// incremental PR removal loop landed; BENCH_4.json adds the XYI/BEST rows
+// at 16×16/32×32 unlocked by the incremental XYI local search. Rows with
+// "valid": false, "power": 0 are model-infeasible points (the workload's
+// loads exceed the max link frequency) — expected outcomes, not failures.
 //
-//   $ pamr_bench_export --out BENCH_2.json [--reps 5] [--quick]
+//   $ pamr_bench_export --out BENCH_4.json [--reps 5] [--quick]
 //
 // The matrix comes from pamr/bench/heuristics_matrix.hpp — the same
 // meshes, comm counts, router sets and generator stream as
@@ -37,7 +40,7 @@ std::string json_double(double value) {
 int main(int argc, char** argv) {
   ArgParser parser("pamr_bench_export",
                    "time the micro_heuristics matrix and export JSON");
-  parser.add_string("out", "BENCH_2.json", "output path ('-' for stdout)");
+  parser.add_string("out", "BENCH_4.json", "output path ('-' for stdout)");
   parser.add_int("reps", 5, "timed repetitions per point (median reported)");
   parser.add_flag("quick", "skip the 32x32 points");
   int exit_code = 0;
