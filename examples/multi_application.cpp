@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
     const bool scattered = point.spec.layers.front().placement ==
                            scenario::WorkloadLayer::Placement::kScattered;
     Rng rng(static_cast<std::uint64_t>(parser.get_int("seed")));
-    const CommSet comms = point.spec.generate(mesh, 0.5, rng);
+    const CommSet comms = point.spec.generate(mesh, model, 0.5, rng);
     for (const RouterKind kind :
          {RouterKind::kXY, RouterKind::kXYI, RouterKind::kPR, RouterKind::kBest}) {
       const RouteResult result = make_router(kind)->route(mesh, comms, model);

@@ -29,7 +29,7 @@ int main() {
 
     // Power comparison at the catalogue intensity.
     Rng rng(77);
-    const CommSet comms = point.spec.generate(mesh, 0.5, rng);
+    const CommSet comms = point.spec.generate(mesh, model, 0.5, rng);
     const RouteResult xy = XYRouter().route(mesh, comms, model);
     const RouteResult best = BestRouter().route(mesh, comms, model);
 
@@ -48,7 +48,7 @@ int main() {
       for (int i = 0; i < steps; ++i) {
         const double t = i / (steps - 1.0);
         Rng probe_rng(77);
-        const CommSet probe = probe_spec.generate(mesh, t, probe_rng);
+        const CommSet probe = probe_spec.generate(mesh, model, t, probe_rng);
         if (route(probe)) sustained = ramp.scale_at(t);
       }
       return sustained;

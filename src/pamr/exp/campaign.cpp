@@ -10,8 +10,11 @@ namespace exp {
 
 CommSet WorkloadSpec::generate(const Mesh& mesh, Rng& rng) const {
   // The scenario layer owns workload generation; a campaign workload is a
-  // single flat layer, so t is irrelevant.
-  return scenario::spec_from_workload(*this).generate(mesh, 0.0, rng);
+  // single flat layer, so t is irrelevant, and the model matters only to
+  // placement-optimized apps layers, which no campaign workload maps to —
+  // one shared instance avoids rebuilding a frequency table per draw.
+  static const PowerModel model = PowerModel::paper_discrete();
+  return scenario::spec_from_workload(*this).generate(mesh, model, 0.0, rng);
 }
 
 std::int32_t default_trials() noexcept {

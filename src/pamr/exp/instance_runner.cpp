@@ -1,22 +1,62 @@
 #include "pamr/exp/instance_runner.hpp"
 
+#include <utility>
+
 #include "pamr/routing/routers.hpp"
+#include "pamr/sim/sim_stats.hpp"
 
 namespace pamr {
 namespace exp {
 
+namespace {
+
+SimSample probe_with_simulator(const Mesh& mesh, const CommSet& comms,
+                               const Routing& routing, const sim::SimConfig& config) {
+  const sim::SimStats stats = sim::simulate(mesh, comms, routing, config);
+  SimSample sample;
+  sample.ran = true;
+  sample.delivery = stats.delivery_ratio();
+  double latency_sum = 0.0;
+  std::int64_t delivered = 0;
+  for (std::size_t flow = 0; flow < stats.per_subflow.size(); ++flow) {
+    latency_sum += stats.per_subflow[flow].latency_sum;
+    delivered += stats.per_subflow[flow].delivered_flits;
+    sample.throughput_mbps += stats.delivered_mbps(flow);
+  }
+  sample.latency_cycles =
+      delivered > 0 ? latency_sum / static_cast<double>(delivered) : 0.0;
+  return sample;
+}
+
+}  // namespace
+
 InstanceSample run_instance(const Mesh& mesh, const CommSet& comms,
-                            const PowerModel& model) {
+                            const PowerModel& model, const sim::SimConfig* sim_config) {
   std::array<HeuristicSample, kNumBaseRouters> base;
+  // The BEST routing (lowest power among valid policies) doubles as the
+  // simulation probe's subject, so keep it while the scalars are folded.
+  Routing best_routing;
+  bool have_best = false;
+  double best_power = 0.0;
   const auto kinds = all_base_routers();
   for (std::size_t h = 0; h < kinds.size(); ++h) {
-    const RouteResult result = make_router(kinds[h])->route(mesh, comms, model);
+    RouteResult result = make_router(kinds[h])->route(mesh, comms, model);
     base[h].valid = result.valid;
     base[h].power = result.power;
     base[h].static_power = result.breakdown.static_part;
     base[h].elapsed_ms = result.elapsed_ms;
+    if (sim_config != nullptr && result.valid && result.routing.has_value() &&
+        (!have_best || result.power < best_power)) {
+      best_routing = *std::move(result.routing);
+      best_power = result.power;
+      have_best = true;
+    }
   }
-  return make_instance_sample(base);
+  InstanceSample sample = make_instance_sample(base);
+  if (sim_config != nullptr && have_best && !comms.empty()) {
+    sample.sim = probe_with_simulator(mesh, comms, best_routing, *sim_config);
+  }
+  return sample;
 }
 
 }  // namespace exp

@@ -2,18 +2,31 @@
 // campaign's scalar samples. Routers are constructed once per call — they
 // are stateless, but constructing them here keeps the runner trivially
 // thread-safe (the campaign calls it from every pool worker).
+//
+// With a sim::SimConfig the runner additionally drives the cycle-level NoC
+// simulator on the instance's BEST routing (open-loop injection: the
+// Injector offers each subflow weight/flit_mbps flits per cycle, so a
+// layer's intensity envelope — which scaled the drawn weights — directly
+// scales the injection rates) and folds latency / delivery / throughput
+// into the sample next to power.
 #pragma once
 
 #include "pamr/comm/communication.hpp"
 #include "pamr/exp/metrics.hpp"
 #include "pamr/mesh/mesh.hpp"
 #include "pamr/power/power_model.hpp"
+#include "pamr/sim/simulator.hpp"
 
 namespace pamr {
 namespace exp {
 
+/// `sim_config`, when non-null, requests the simulation probe; it runs iff
+/// some policy produced a valid routing (the probe needs a routing to
+/// program — the per-point sim stats' count() reveals how many instances
+/// qualified). Deterministic in all arguments, including sim_config->seed.
 [[nodiscard]] InstanceSample run_instance(const Mesh& mesh, const CommSet& comms,
-                                          const PowerModel& model);
+                                          const PowerModel& model,
+                                          const sim::SimConfig* sim_config = nullptr);
 
 }  // namespace exp
 }  // namespace pamr

@@ -60,6 +60,11 @@ void PointAggregate::add(const InstanceSample& sample) {
   if (best.valid && best.power > 0.0) {
     static_fraction.add(best.static_power / best.power);
   }
+  if (sample.sim.ran) {
+    sim_latency.add(sample.sim.latency_cycles);
+    sim_delivery.add(sample.sim.delivery);
+    sim_throughput.add(sample.sim.throughput_mbps);
+  }
 }
 
 void PointAggregate::merge(const PointAggregate& other) {
@@ -71,6 +76,9 @@ void PointAggregate::merge(const PointAggregate& other) {
     failures[s] += other.failures[s];
   }
   static_fraction.merge(other.static_fraction);
+  sim_latency.merge(other.sim_latency);
+  sim_delivery.merge(other.sim_delivery);
+  sim_throughput.merge(other.sim_throughput);
 }
 
 // ------------------------------------------------------------- wire form --
@@ -124,8 +132,17 @@ bool parse_stats(std::string_view text, RunningStats& out) noexcept {
 }  // namespace
 
 std::string serialize_point_aggregate(const PointAggregate& aggregate) {
-  std::string out = "aggv=1 n=" + std::to_string(aggregate.instances) + " sf=";
+  // aggv=2 added the simulation-probe stats (sl/sd/st); every key of the
+  // version is required, so a v1 journal line is rejected loudly rather
+  // than merged with silently-empty sim aggregates.
+  std::string out = "aggv=2 n=" + std::to_string(aggregate.instances) + " sf=";
   append_stats(out, aggregate.static_fraction);
+  out += " sl=";
+  append_stats(out, aggregate.sim_latency);
+  out += " sd=";
+  append_stats(out, aggregate.sim_delivery);
+  out += " st=";
+  append_stats(out, aggregate.sim_throughput);
   for (std::size_t s = 0; s < kNumSeries; ++s) {
     const std::string tag = std::to_string(s);
     out += " ni" + tag + "=";
@@ -143,9 +160,10 @@ bool parse_point_aggregate(std::string_view text, PointAggregate& out,
                            std::string& error) {
   PointAggregate parsed;
   // Every key must appear exactly once: kinds 0..3 are ni/ip/ms/f per
-  // series, then aggv, n, sf. Duplicates could otherwise mask a missing
-  // token of another kind — this parser is the journal's integrity gate.
-  std::array<bool, 4 * kNumSeries + 3> seen{};
+  // series, then aggv, n, sf, sl, sd, st. Duplicates could otherwise mask a
+  // missing token of another kind — this parser is the journal's integrity
+  // gate.
+  std::array<bool, 4 * kNumSeries + 6> seen{};
   const auto once = [&](std::size_t slot, std::string_view key) {
     if (seen[slot]) {
       error = "duplicate aggregate key '" + std::string(key) + "'";
@@ -166,13 +184,19 @@ bool parse_point_aggregate(std::string_view text, PointAggregate& out,
     const std::string_view value = token.substr(eq + 1);
     bool ok = true;
     if (key == "aggv") {
-      ok = once(4 * kNumSeries, key) && value == "1";
+      ok = once(4 * kNumSeries, key) && value == "2";
     } else if (key == "n") {
       std::int64_t n = 0;
       ok = once(4 * kNumSeries + 1, key) && parse_int64(value, n) && n >= 0;
       if (ok) parsed.instances = static_cast<std::size_t>(n);
     } else if (key == "sf") {
       ok = once(4 * kNumSeries + 2, key) && parse_stats(value, parsed.static_fraction);
+    } else if (key == "sl") {
+      ok = once(4 * kNumSeries + 3, key) && parse_stats(value, parsed.sim_latency);
+    } else if (key == "sd") {
+      ok = once(4 * kNumSeries + 4, key) && parse_stats(value, parsed.sim_delivery);
+    } else if (key == "st") {
+      ok = once(4 * kNumSeries + 5, key) && parse_stats(value, parsed.sim_throughput);
     } else if (key.size() >= 2 && (key[0] == 'f' || key.substr(0, 2) == "ni" ||
                                    key.substr(0, 2) == "ip" || key.substr(0, 2) == "ms")) {
       const bool failures_key = key[0] == 'f';
@@ -211,7 +235,7 @@ bool parse_point_aggregate(std::string_view text, PointAggregate& out,
   for (std::size_t slot = 0; slot < seen.size(); ++slot) {
     if (!seen[slot]) {
       error = slot == 4 * kNumSeries
-                  ? "missing aggv=1 version token"
+                  ? "missing aggv=2 version token"
                   : "incomplete aggregate: a required key is missing";
       return false;
     }

@@ -36,8 +36,19 @@ struct HeuristicSample {
   }
 };
 
+/// Outcome of the optional cycle-level simulation probe of one instance
+/// (sim:: run on the BEST routing when the scenario asks for it). `ran` is
+/// false when the probe was disabled or no valid routing existed to drive.
+struct SimSample {
+  bool ran = false;
+  double latency_cycles = 0.0;   ///< mean flit latency over delivered flits
+  double delivery = 0.0;         ///< Σ delivered / Σ offered flits
+  double throughput_mbps = 0.0;  ///< aggregate delivered bandwidth
+};
+
 struct InstanceSample {
   std::array<HeuristicSample, kNumSeries> series;  ///< six policies + BEST
+  SimSample sim;                                   ///< open-loop injection probe
 };
 
 [[nodiscard]] InstanceSample make_instance_sample(
@@ -50,6 +61,11 @@ struct PointAggregate {
   std::array<RunningStats, kNumSeries> elapsed_ms;
   std::array<RunningStats, kNumSeries> inverse_power;  ///< absolute 1/P (0 on failure)
   RunningStats static_fraction;  ///< static/total of BEST, valid instances only
+  // Simulation probe aggregates (instances where the probe ran only; their
+  // shared count() is the number of simulated instances).
+  RunningStats sim_latency;     ///< mean flit latency, cycles
+  RunningStats sim_delivery;    ///< delivery ratio in [0, 1]
+  RunningStats sim_throughput;  ///< delivered Mb/s
   std::size_t instances = 0;
 
   void add(const InstanceSample& sample);

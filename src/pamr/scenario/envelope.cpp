@@ -87,7 +87,11 @@ bool IntensityEnvelope::parse(std::string_view text, IntensityEnvelope& out,
 }
 
 IntensityEnvelope IntensityEnvelope::constant(double scale) {
-  return IntensityEnvelope({{EnvelopePhase::Kind::kConst, scale, scale, 0.5}});
+  // Unused fields keep their defaults (b = 1, duty = 0.5), matching what
+  // parse("const:s") builds — a const phase constructed here and one parsed
+  // from its own to_string() must compare equal, or specs only differ in
+  // dead state and every value-equality round-trip test trips.
+  return IntensityEnvelope({{EnvelopePhase::Kind::kConst, scale, 1.0, 0.5}});
 }
 
 IntensityEnvelope IntensityEnvelope::ramp(double from, double to) {

@@ -1,5 +1,6 @@
 #include "pamr/scenario/registry.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "pamr/util/assert.hpp"
@@ -211,6 +212,134 @@ Scenario ablation_length_mix() {
   return scenario;
 }
 
+// -- New workload layers (trace replay, injection, mesh sweeps, placement) --
+
+Scenario trace_replay() {
+  Scenario scenario;
+  scenario.name = "trace_replay";
+  scenario.description =
+      "replay traces/example_8x8.csv, subsampled 8..48 comms per instance";
+  scenario.x_label = "sample";
+  for (const std::int32_t sample : {8, 16, 24, 32, 48}) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayer::Kind::kTrace;
+    layer.trace_file = "traces/example_8x8.csv";
+    layer.trace_sample = sample;
+    scenario.points.push_back(
+        {static_cast<double>(sample), single_layer_spec(std::move(layer))});
+  }
+  return scenario;
+}
+
+Scenario trace_burst() {
+  Scenario scenario;
+  scenario.name = "trace_burst";
+  scenario.description =
+      "the full example trace under a quarter-duty 3x burst envelope";
+  scenario.x_label = "instance_t";
+  WorkloadLayer layer;
+  layer.kind = WorkloadLayer::Kind::kTrace;
+  layer.trace_file = "traces/example_8x8.csv";
+  layer.envelope = IntensityEnvelope::burst(1.0, 3.0, 0.25);
+  scenario.points.push_back({0.0, single_layer_spec(std::move(layer))});
+  return scenario;
+}
+
+ScenarioSpec with_sim(ScenarioSpec spec, std::int64_t cycles, std::int64_t warmup) {
+  spec.sim = true;
+  spec.sim_cycles = cycles;
+  spec.sim_warmup = warmup;
+  return spec;
+}
+
+Scenario injection_sweep() {
+  Scenario scenario;
+  scenario.name = "injection_sweep";
+  scenario.description =
+      "open-loop sim probe: 20 uniform flows swept 0.25x..1.25x intensity";
+  scenario.x_label = "intensity";
+  for (const double intensity : {0.25, 0.5, 0.75, 1.0, 1.25}) {
+    WorkloadLayer layer = uniform_layer(20, 100.0, 1500.0);
+    layer.envelope = IntensityEnvelope::constant(intensity);
+    scenario.points.push_back(
+        {intensity, with_sim(single_layer_spec(std::move(layer)), 4000, 400)});
+  }
+  return scenario;
+}
+
+Scenario injection_ramp() {
+  Scenario scenario;
+  scenario.name = "injection_ramp";
+  scenario.description =
+      "open-loop sim probe under a 0.2x..2x ramp over the instance axis";
+  scenario.x_label = "instance_t";
+  WorkloadLayer layer = uniform_layer(20, 100.0, 1500.0);
+  layer.envelope = IntensityEnvelope::ramp(0.2, 2.0);
+  scenario.points.push_back(
+      {0.0, with_sim(single_layer_spec(std::move(layer)), 4000, 400)});
+  return scenario;
+}
+
+Scenario mesh_scaling() {
+  Scenario scenario;
+  scenario.name = "mesh_scaling";
+  scenario.description =
+      "uniform load at fixed per-core density across 4x4..12x12 meshes";
+  scenario.x_label = "mesh_p";
+  for (const std::int32_t p : {4, 6, 8, 10, 12}) {
+    // 5 comms per 8 cores keeps the paper's 40-comms-at-8x8 density.
+    ScenarioSpec spec = single_layer_spec(uniform_layer(5 * p * p / 8, 100.0, 1500.0));
+    spec.mesh_p = p;
+    spec.mesh_q = p;
+    scenario.points.push_back({static_cast<double>(p), std::move(spec)});
+  }
+  return scenario;
+}
+
+Scenario mesh_scaling_transpose() {
+  Scenario scenario;
+  scenario.name = "mesh_scaling_transpose";
+  scenario.description = "transpose permutation at 700 Mb/s across 4x4..12x12 meshes";
+  scenario.x_label = "mesh_p";
+  for (const std::int32_t p : {4, 6, 8, 10, 12}) {
+    ScenarioSpec spec =
+        single_layer_spec(pattern_layer(TrafficPattern::kTranspose, 700.0));
+    spec.mesh_p = p;
+    spec.mesh_q = p;
+    scenario.points.push_back({static_cast<double>(p), std::move(spec)});
+  }
+  return scenario;
+}
+
+Scenario placement_modes() {
+  Scenario scenario;
+  scenario.name = "placement_modes";
+  scenario.description =
+      "pipeline+stencil mix placed contiguous (0) / scattered (1) / optimized (2)";
+  scenario.x_label = "placement";
+  const auto modes = {WorkloadLayer::Placement::kContiguous,
+                      WorkloadLayer::Placement::kScattered,
+                      WorkloadLayer::Placement::kOptimized};
+  double x = 0.0;
+  for (const auto placement : modes) {
+    WorkloadLayer layer;
+    layer.kind = WorkloadLayer::Kind::kApps;
+    // Small applications on a 6x6 mesh keep the per-instance placement
+    // search (routed scoring per candidate swap) affordable at suite scale.
+    layer.apps = {
+        AppSpec{AppSpec::Shape::kPipeline, 4, 1, 900.0},
+        AppSpec{AppSpec::Shape::kStencil, 2, 2, 400.0},
+    };
+    layer.placement = placement;
+    ScenarioSpec spec = single_layer_spec(std::move(layer));
+    spec.mesh_p = 6;
+    spec.mesh_q = 6;
+    scenario.points.push_back({x, std::move(spec)});
+    x += 1.0;
+  }
+  return scenario;
+}
+
 }  // namespace
 
 const ScenarioRegistry& ScenarioRegistry::builtin() {
@@ -247,6 +376,15 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     built.add(mixed_background());
     built.add(uniform_burst());
     built.add(ablation_length_mix());
+    // Workload layers beyond the generators: trace replay, open-loop
+    // injection probes, mesh sweeps and placement modes.
+    built.add(trace_replay());
+    built.add(trace_burst());
+    built.add(injection_sweep());
+    built.add(injection_ramp());
+    built.add(mesh_scaling());
+    built.add(mesh_scaling_transpose());
+    built.add(placement_modes());
     return built;
   }();
   return registry;
@@ -270,8 +408,63 @@ const Scenario* ScenarioRegistry::find(std::string_view name) const noexcept {
 
 const Scenario& ScenarioRegistry::at(std::string_view name) const {
   const Scenario* scenario = find(name);
-  PAMR_CHECK(scenario != nullptr, "unknown scenario '" + std::string(name) + "'");
+  PAMR_CHECK(scenario != nullptr, unknown_name_message(name));
   return *scenario;
+}
+
+namespace {
+
+/// Classic dynamic-programming Levenshtein distance; the catalogue is a
+/// handful of short names, so the O(|a|·|b|) table is irrelevant.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diagonal = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t substitution = diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string ScenarioRegistry::unknown_name_message(std::string_view name) const {
+  std::string message = "unknown scenario '" + std::string(name) + "'";
+  // Near misses: prefix matches (a truncated tab completion) and names
+  // within a third of the query's length in edits (a typo).
+  std::vector<std::pair<std::size_t, const std::string*>> ranked;
+  const std::size_t budget = std::max<std::size_t>(2, name.size() / 3);
+  for (const Scenario& scenario : scenarios_) {
+    const std::string& candidate = scenario.name;
+    std::size_t rank;
+    if (!name.empty() && (candidate.rfind(name, 0) == 0 ||
+                          name.rfind(candidate, 0) == 0)) {
+      rank = 0;  // prefix relation beats any edit distance
+    } else {
+      rank = edit_distance(name, candidate);
+      if (rank > budget) continue;
+    }
+    ranked.emplace_back(rank, &candidate);
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (!ranked.empty()) {
+    message += " (did you mean ";
+    const std::size_t shown = std::min<std::size_t>(ranked.size(), 3);
+    for (std::size_t i = 0; i < shown; ++i) {
+      if (i > 0) message += i + 1 == shown ? " or " : ", ";
+      message += "'" + *ranked[i].second + "'";
+    }
+    message += "?)";
+  }
+  message += "; available:";
+  for (const Scenario& scenario : scenarios_) message += " " + scenario.name;
+  return message;
 }
 
 }  // namespace scenario

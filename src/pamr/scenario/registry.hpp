@@ -45,6 +45,12 @@ class ScenarioRegistry {
   /// find() that CHECKs the name exists — for callers holding a name that
   /// is supposed to be in the catalogue (benches, examples).
   [[nodiscard]] const Scenario& at(std::string_view name) const;
+
+  /// Diagnostic for a failed lookup: "unknown scenario '<name>'", any
+  /// near-miss suggestions (edit distance / prefix), and the full
+  /// catalogue — every name-resolution error path (CLIs, at()) shares it,
+  /// so a typo is always answered with what the user probably meant.
+  [[nodiscard]] std::string unknown_name_message(std::string_view name) const;
   [[nodiscard]] const std::vector<Scenario>& scenarios() const noexcept {
     return scenarios_;
   }

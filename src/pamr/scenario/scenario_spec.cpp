@@ -3,7 +3,12 @@
 #include <cmath>
 #include <utility>
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "pamr/comm/generator.hpp"
+#include "pamr/map/placement.hpp"
+#include "pamr/scenario/trace.hpp"
 #include "pamr/util/assert.hpp"
 #include "pamr/util/string_util.hpp"
 
@@ -152,7 +157,8 @@ CommSet generate_hotspot_storm(const Mesh& mesh, const WorkloadLayer& layer, Rng
   return comms;
 }
 
-CommSet generate_apps(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
+CommSet generate_apps(const Mesh& mesh, const PowerModel& model,
+                      const WorkloadLayer& layer, Rng& rng) {
   PAMR_CHECK(!layer.apps.empty(), "apps layer needs at least one application");
   std::vector<TaskGraph> graphs;
   graphs.reserve(layer.apps.size());
@@ -165,6 +171,21 @@ CommSet generate_apps(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
 
   std::vector<MappedApplication> mapped;
   mapped.reserve(graphs.size());
+  if (layer.placement == WorkloadLayer::Placement::kOptimized) {
+    // Per-instance placement search: judged by the routed power of this
+    // spec's model (not a hop proxy), seeded by the instance stream — so
+    // two instances explore different placements, deterministically.
+    std::vector<const TaskGraph*> pointers;
+    pointers.reserve(graphs.size());
+    for (const TaskGraph& graph : graphs) pointers.push_back(&graph);
+    PlacementResult placed = optimize_placement(mesh, pointers, model, rng);
+    PAMR_CHECK(placed.mappings.size() == graphs.size(),
+               "one mapping per application expected");
+    for (std::size_t a = 0; a < graphs.size(); ++a) {
+      mapped.push_back(MappedApplication{&graphs[a], std::move(placed.mappings[a])});
+    }
+    return extract_communications(mapped);
+  }
   std::int32_t placed = 0;
   for (const TaskGraph& graph : graphs) {
     Mapping mapping;
@@ -175,6 +196,9 @@ CommSet generate_apps(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
       case WorkloadLayer::Placement::kScattered:
         mapping = map_random(graph, mesh, rng);
         break;
+      case WorkloadLayer::Placement::kOptimized:
+        PAMR_CHECK(false, "handled above");
+        break;
     }
     placed += graph.num_tasks();
     mapped.push_back(MappedApplication{&graph, std::move(mapping)});
@@ -182,11 +206,45 @@ CommSet generate_apps(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
   return extract_communications(mapped);
 }
 
+CommSet generate_trace_replay(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
+  PAMR_CHECK(!layer.trace_file.empty(), "trace layer needs file=");
+  const Trace& trace = load_trace(layer.trace_file);
+  // The trace's bounding endpoint is precomputed at load, so this runs per
+  // instance at O(1) instead of rescanning a 100k-row trace every draw.
+  PAMR_CHECK(trace.max_u < mesh.p() && trace.max_v < mesh.q(),
+             "trace '" + layer.trace_file + "' has endpoints up to (" +
+                 std::to_string(trace.max_u) + "," + std::to_string(trace.max_v) +
+                 "), outside the " + std::to_string(mesh.p()) + "x" +
+                 std::to_string(mesh.q()) + " mesh");
+  const CommSet& full = trace.comms;
+  const auto want = static_cast<std::size_t>(layer.trace_sample);
+  if (layer.trace_sample <= 0 || want >= full.size()) return full;
+  // Deterministic subsample: Floyd's algorithm draws `want` distinct
+  // indices from the instance RNG in O(want) hashed membership checks — no
+  // O(|trace|) scratch per instance (sample= goes up to kMaxComms, so a
+  // quadratic scan here would hang large draws) — then the subset replays
+  // in trace order: the subset varies per instance, the ordering
+  // discipline does not.
+  std::unordered_set<std::size_t> chosen;
+  chosen.reserve(want);
+  for (std::size_t j = full.size() - want; j < full.size(); ++j) {
+    const std::size_t pick = rng.below(j + 1);
+    if (!chosen.insert(pick).second) chosen.insert(j);  // j itself is unseen
+  }
+  std::vector<std::size_t> indices(chosen.begin(), chosen.end());
+  std::sort(indices.begin(), indices.end());
+  CommSet comms;
+  comms.reserve(want);
+  for (const std::size_t index : indices) comms.push_back(full[index]);
+  return comms;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------- WorkloadLayer --
 
-CommSet WorkloadLayer::generate(const Mesh& mesh, double t, Rng& rng) const {
+CommSet WorkloadLayer::generate(const Mesh& mesh, const PowerModel& model, double t,
+                                Rng& rng) const {
   CommSet comms;
   switch (kind) {
     case Kind::kUniform: {
@@ -213,7 +271,10 @@ CommSet WorkloadLayer::generate(const Mesh& mesh, double t, Rng& rng) const {
       comms = generate_hotspot_storm(mesh, *this, rng);
       break;
     case Kind::kApps:
-      comms = generate_apps(mesh, *this, rng);
+      comms = generate_apps(mesh, model, *this, rng);
+      break;
+    case Kind::kTrace:
+      comms = generate_trace_replay(mesh, *this, rng);
       break;
   }
   scale_weights(comms, envelope.scale_at(t));
@@ -231,10 +292,11 @@ PowerModel ScenarioSpec::make_model() const {
   return PowerModel::paper_discrete();
 }
 
-CommSet ScenarioSpec::generate(const Mesh& mesh, double t, Rng& rng) const {
+CommSet ScenarioSpec::generate(const Mesh& mesh, const PowerModel& model, double t,
+                               Rng& rng) const {
   CommSet comms;
   for (const WorkloadLayer& layer : layers) {
-    CommSet drawn = layer.generate(mesh, t, rng);
+    CommSet drawn = layer.generate(mesh, model, t, rng);
     comms.insert(comms.end(), drawn.begin(), drawn.end());
   }
   return comms;
@@ -243,6 +305,10 @@ CommSet ScenarioSpec::generate(const Mesh& mesh, double t, Rng& rng) const {
 std::string ScenarioSpec::to_string() const {
   std::string out = "mesh=" + std::to_string(mesh_p) + "x" + std::to_string(mesh_q) +
                     " model=" + (model == ModelKind::kDiscrete ? "discrete" : "theory");
+  if (sim) {
+    out += " sim=on cycles=" + std::to_string(sim_cycles) +
+           " warmup=" + std::to_string(sim_warmup);
+  }
   for (const WorkloadLayer& layer : layers) {
     out += " ;";
     switch (layer.kind) {
@@ -279,10 +345,19 @@ std::string ScenarioSpec::to_string() const {
           out += layer.apps[i].to_string();
         }
         out += " place=";
-        out += layer.placement == WorkloadLayer::Placement::kContiguous ? "contiguous"
-                                                                        : "scattered";
+        switch (layer.placement) {
+          case WorkloadLayer::Placement::kContiguous: out += "contiguous"; break;
+          case WorkloadLayer::Placement::kScattered: out += "scattered"; break;
+          case WorkloadLayer::Placement::kOptimized: out += "optimized"; break;
+        }
         break;
       }
+      case WorkloadLayer::Kind::kTrace:
+        out += " kind=trace file=" + layer.trace_file;
+        if (layer.trace_sample > 0) {
+          out += " sample=" + std::to_string(layer.trace_sample);
+        }
+        break;
     }
     if (!layer.envelope.flat()) out += " envelope=" + layer.envelope.to_string();
   }
@@ -312,10 +387,40 @@ bool tokenize_section(std::string_view section, std::vector<KeyValue>& out,
   return true;
 }
 
+constexpr std::int64_t kMaxSimCycles = 1'000'000'000;
+
 bool parse_global(const std::vector<KeyValue>& pairs, ScenarioSpec& spec,
                   std::string& error) {
+  bool have_sim_detail = false;  // cycles=/warmup= seen (require sim=on)
   for (const KeyValue& kv : pairs) {
-    if (kv.key == "mesh") {
+    if (kv.key == "sim") {
+      if (kv.value == "on") {
+        spec.sim = true;
+      } else if (kv.value == "off") {
+        spec.sim = false;
+      } else {
+        error = "bad sim '" + kv.value + "' (want on or off)";
+        return false;
+      }
+    } else if (kv.key == "cycles") {
+      std::int64_t cycles = 0;
+      if (!parse_int64(kv.value, cycles) || cycles < 1 || cycles > kMaxSimCycles) {
+        error = "bad cycles '" + kv.value + "' (want 1.." +
+                std::to_string(kMaxSimCycles) + ")";
+        return false;
+      }
+      spec.sim_cycles = cycles;
+      have_sim_detail = true;
+    } else if (kv.key == "warmup") {
+      std::int64_t warmup = 0;
+      if (!parse_int64(kv.value, warmup) || warmup < 0 || warmup > kMaxSimCycles) {
+        error = "bad warmup '" + kv.value + "' (want 0.." +
+                std::to_string(kMaxSimCycles) + ")";
+        return false;
+      }
+      spec.sim_warmup = warmup;
+      have_sim_detail = true;
+    } else if (kv.key == "mesh") {
       const std::vector<std::string> dims = split(kv.value, 'x');
       if (dims.size() != 2 || !parse_i32(dims[0], 1, kMaxMeshDim, spec.mesh_p) ||
           !parse_i32(dims[1], 1, kMaxMeshDim, spec.mesh_q)) {
@@ -335,6 +440,15 @@ bool parse_global(const std::vector<KeyValue>& pairs, ScenarioSpec& spec,
       error = "unknown global key '" + kv.key + "'";
       return false;
     }
+  }
+  if (have_sim_detail && !spec.sim) {
+    error = "cycles=/warmup= need sim=on";
+    return false;
+  }
+  if (spec.sim && spec.sim_warmup >= spec.sim_cycles) {
+    error = "warmup=" + std::to_string(spec.sim_warmup) +
+            " must be below cycles=" + std::to_string(spec.sim_cycles);
+    return false;
   }
   return true;
 }
@@ -356,6 +470,8 @@ bool parse_layer(const std::vector<KeyValue>& pairs, WorkloadLayer& out,
         layer.kind = WorkloadLayer::Kind::kHotspots;
       } else if (kv.value == "apps") {
         layer.kind = WorkloadLayer::Kind::kApps;
+      } else if (kv.value == "trace") {
+        layer.kind = WorkloadLayer::Kind::kTrace;
       } else {
         error = "unknown layer kind '" + kv.value + "'";
         return false;
@@ -421,8 +537,24 @@ bool parse_layer(const std::vector<KeyValue>& pairs, WorkloadLayer& out,
         layer.placement = WorkloadLayer::Placement::kContiguous;
       } else if (kv.value == "scattered") {
         layer.placement = WorkloadLayer::Placement::kScattered;
+      } else if (kv.value == "optimized") {
+        layer.placement = WorkloadLayer::Placement::kOptimized;
       } else {
-        error = "bad place '" + kv.value + "' (want contiguous or scattered)";
+        error = "bad place '" + kv.value +
+                "' (want contiguous, scattered or optimized)";
+        return false;
+      }
+    } else if (kv.key == "file") {
+      // Tokenization already guarantees no spaces/';' — an empty value is
+      // the only way to smuggle a broken reference past the round trip.
+      if (kv.value.empty()) {
+        error = "bad file '' (want a CSV path)";
+        return false;
+      }
+      layer.trace_file = kv.value;
+    } else if (kv.key == "sample") {
+      if (!parse_i32(kv.value, 1, kMaxComms, layer.trace_sample)) {
+        error = "bad sample '" + kv.value + "'";
         return false;
       }
     } else if (kv.key == "envelope") {
@@ -451,6 +583,10 @@ bool parse_layer(const std::vector<KeyValue>& pairs, WorkloadLayer& out,
   }
   if (layer.kind == WorkloadLayer::Kind::kApps && layer.apps.empty()) {
     error = "apps layer needs apps=";
+    return false;
+  }
+  if (layer.kind == WorkloadLayer::Kind::kTrace && layer.trace_file.empty()) {
+    error = "trace layer needs file=";
     return false;
   }
   out = std::move(layer);
@@ -508,6 +644,10 @@ bool validate_against_mesh(const ScenarioSpec& spec, std::string& error) {
           error = "random endpoints need at least two cores";
           return false;
         }
+        break;
+      case WorkloadLayer::Kind::kTrace:
+        // Endpoint bounds live in the file, not the spec; load_trace checks
+        // them against the mesh when the layer first replays.
         break;
     }
   }

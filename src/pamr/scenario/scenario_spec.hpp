@@ -15,6 +15,8 @@
 //   mesh=8x8 model=discrete ; kind=uniform n=40 lo=100 hi=1500
 //   mesh=8x8 model=discrete ; kind=pattern pattern=transpose weight=700
 //       envelope=ramp:0.2:5 ; kind=hotspots spots=2 n=24 lo=100 hi=1500
+//   mesh=8x8 model=discrete sim=on cycles=4000 warmup=400
+//       ; kind=trace file=traces/example_8x8.csv sample=16
 //
 // so a scenario can be printed, logged, diffed, stored in a registry, or
 // passed on a command line — reproducibility from the printed parameters
@@ -62,6 +64,7 @@ struct WorkloadLayer {
     kPattern,      ///< one classic permutation/hotspot TrafficPattern
     kHotspots,     ///< random senders converging on a random hotspot set
     kApps,         ///< mapped task-graph applications
+    kTrace,        ///< replay a CommSet loaded from CSV (scenario/trace.hpp)
   };
 
   Kind kind = Kind::kUniform;
@@ -81,17 +84,25 @@ struct WorkloadLayer {
   // kHotspots
   std::int32_t num_hotspots = 1;  ///< distinct hotspot cores, drawn per instance
 
-  // kApps
-  enum class Placement { kContiguous, kScattered };
+  // kApps. kOptimized searches the placement space per instance with
+  // map::optimize_placement — placements judged by the routed power of the
+  // spec's own model, which is why generate() takes the PowerModel.
+  enum class Placement { kContiguous, kScattered, kOptimized };
   std::vector<AppSpec> apps;
   Placement placement = Placement::kContiguous;
+
+  // kTrace ("file"/"sample" in the text form)
+  std::string trace_file;       ///< CSV path (resolved via resolve_trace_path)
+  std::int32_t trace_sample = 0;  ///< replay this many comms per instance; 0 = all
 
   IntensityEnvelope envelope;  ///< weight multiplier over the instance axis
 
   /// Draws this layer's communications at envelope position t, scaling
   /// weights by scale_at(t). A flat envelope leaves weights bit-identical
-  /// to the underlying generator's draw.
-  [[nodiscard]] CommSet generate(const Mesh& mesh, double t, Rng& rng) const;
+  /// to the underlying generator's draw. `model` is consulted only by
+  /// placement-optimized apps layers (the placement objective).
+  [[nodiscard]] CommSet generate(const Mesh& mesh, const PowerModel& model, double t,
+                                 Rng& rng) const;
 
   friend bool operator==(const WorkloadLayer&, const WorkloadLayer&) = default;
 };
@@ -106,11 +117,22 @@ struct ScenarioSpec {
   ModelKind model = ModelKind::kDiscrete;
   std::vector<WorkloadLayer> layers;
 
+  // Open-loop injection probe ("sim"/"cycles"/"warmup" in the text form,
+  // global section): when enabled, every instance additionally drives
+  // sim::Simulator on its BEST routing — injection rates follow the drawn
+  // (envelope-scaled) weights — and the point aggregates latency, delivery
+  // ratio and delivered throughput next to power (exp::PointAggregate's
+  // sim_* stats).
+  bool sim = false;
+  std::int64_t sim_cycles = 20000;  ///< total simulated cycles per instance
+  std::int64_t sim_warmup = 2000;   ///< cycles excluded from measurement
+
   [[nodiscard]] Mesh make_mesh() const { return Mesh(mesh_p, mesh_q); }
   [[nodiscard]] PowerModel make_model() const;
 
   /// Concatenation of every layer's draw (layer order is spec order).
-  [[nodiscard]] CommSet generate(const Mesh& mesh, double t, Rng& rng) const;
+  [[nodiscard]] CommSet generate(const Mesh& mesh, const PowerModel& model, double t,
+                                 Rng& rng) const;
 
   /// Canonical text form; parse(to_string()) reconstructs *this exactly.
   [[nodiscard]] std::string to_string() const;

@@ -31,6 +31,14 @@ void SuiteOptions::validate() const {
   }
 }
 
+Scenario adhoc_scenario(ScenarioSpec spec) {
+  Scenario scenario;
+  scenario.name = "adhoc";
+  scenario.description = "ad-hoc spec from the command line";
+  scenario.points.push_back({0.0, std::move(spec)});
+  return scenario;
+}
+
 exp::PointAggregate run_scenario_point(const Mesh& mesh, const PowerModel& model,
                                        const ScenarioSpec& spec, std::int32_t instances,
                                        std::uint64_t seed, std::uint64_t point_id,
@@ -228,10 +236,33 @@ Table failure_ratio_table(const ScenarioResult& result) {
   });
 }
 
+bool has_sim_stats(const ScenarioResult& result) {
+  for (const ScenarioPointResult& point : result.points) {
+    if (point.aggregate.sim_delivery.count() > 0) return true;
+  }
+  return false;
+}
+
+Table sim_table(const ScenarioResult& result) {
+  Table table({result.x_label, "simulated", "latency_cycles", "delivery_ratio",
+               "throughput_mbps"});
+  for (const ScenarioPointResult& point : result.points) {
+    const exp::PointAggregate& aggregate = point.aggregate;
+    table.add_row({point.x,
+                   static_cast<std::int64_t>(aggregate.sim_delivery.count()),
+                   aggregate.sim_latency.mean(), aggregate.sim_delivery.mean(),
+                   aggregate.sim_throughput.mean()});
+  }
+  return table;
+}
+
 std::string result_to_json(const ScenarioResult& result) {
   std::string out = "{\n\"scenario\": \"" + json_escape(result.name) + "\",\n";
   out += "\"normalized_inverse_power\": " + normalized_inverse_table(result).to_json();
   out += ",\n\"failure_ratio\": " + failure_ratio_table(result).to_json();
+  if (has_sim_stats(result)) {
+    out += ",\n\"sim\": " + sim_table(result).to_json();
+  }
   out += "}\n";
   return out;
 }
@@ -262,6 +293,10 @@ void print_scenario_result(const ScenarioResult& result, std::int32_t instances)
   std::printf("-- normalized power inverse (1/P over 1/P_BEST; 0 = failure) --\n%s",
               normalized_inverse_table(result).to_text().c_str());
   std::printf("-- failure ratio --\n%s\n", failure_ratio_table(result).to_text().c_str());
+  if (has_sim_stats(result)) {
+    std::printf("-- open-loop injection (BEST routing, cycle-level sim) --\n%s\n",
+                sim_table(result).to_text().c_str());
+  }
 }
 
 bool write_scenario_outputs(const ScenarioResult& result, const std::string& dir,
@@ -271,6 +306,9 @@ bool write_scenario_outputs(const ScenarioResult& result, const std::string& dir
   if (write_csv) {
     ok &= normalized_inverse_table(result).write_csv(base + "_norm_inv_power.csv");
     ok &= failure_ratio_table(result).write_csv(base + "_failure_ratio.csv");
+    if (has_sim_stats(result)) {
+      ok &= sim_table(result).write_csv(base + "_sim.csv");
+    }
     if (ok) PAMR_LOG_INFO("wrote " + base + "_{norm_inv_power,failure_ratio}.csv");
   }
   if (write_json) {

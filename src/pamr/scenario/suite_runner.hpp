@@ -72,6 +72,13 @@ struct ScenarioResult {
     const std::vector<SuiteEntry>& entries, const std::vector<SuiteUnit>& units,
     const std::vector<exp::PointAggregate>& partials);
 
+/// The canonical `--spec` wrapper: a single-point scenario named "adhoc"
+/// under the library default seed. `pamr_scenarios --spec`, `pamr_dist
+/// --spec` and the differential test fixture all build ad-hoc runs through
+/// this one helper, so their outputs stay byte-comparable by construction
+/// instead of by parallel hand-rolled copies.
+[[nodiscard]] Scenario adhoc_scenario(ScenarioSpec spec);
+
 /// Runs every instance of one spec (the single-point kernel; exp::run_point
 /// delegates here). `pool` may be null for the global pool.
 [[nodiscard]] exp::PointAggregate run_scenario_point(
@@ -134,7 +141,19 @@ using SeriesExtractor = double (*)(const exp::PointAggregate&, std::size_t);
 [[nodiscard]] Table normalized_inverse_table(const ScenarioResult& result);
 [[nodiscard]] Table failure_ratio_table(const ScenarioResult& result);
 
-/// Both tables as one JSON document (util/csv Table::to_json rows).
+/// True iff any point carries simulation-probe aggregates (a sim=on spec
+/// with at least one simulated instance). Decided from the aggregates
+/// alone, so every execution path (in-process, distributed, resumed) makes
+/// the same call — and writes the same files.
+[[nodiscard]] bool has_sim_stats(const ScenarioResult& result);
+
+/// Open-loop injection table: per point, the number of simulated instances
+/// and the mean latency (cycles), delivery ratio and delivered throughput
+/// (Mb/s). Meaningful only when has_sim_stats().
+[[nodiscard]] Table sim_table(const ScenarioResult& result);
+
+/// All tables as one JSON document (util/csv Table::to_json rows); the
+/// "sim" member appears iff has_sim_stats().
 [[nodiscard]] std::string result_to_json(const ScenarioResult& result);
 
 /// Header / row of the live progress stream (one CsvStreamWriter row per

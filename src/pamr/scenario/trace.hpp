@@ -1,0 +1,69 @@
+// Trace replay: load a CommSet from CSV so recorded (or hand-written)
+// workloads run through the same suite machinery as the synthetic
+// generators.
+//
+// Schema (README "Workloads"): a header row `src_u,src_v,snk_u,snk_v,weight`
+// followed by one communication per row — endpoints as mesh coordinates,
+// weight in Mb/s. Weights are written with just enough significant digits
+// to reparse to the identical IEEE-754 double, so
+// read(write(comms)) == comms bit-for-bit: a dumped trace is a lossless
+// archive of an instance, not an approximation of one (the property the
+// trace round-trip tests pin).
+//
+// A `kind=trace` workload layer replays a trace per instance, optionally
+// subsampling `sample=` communications with the instance's own RNG — the
+// draw depends only on (seed, point, instance), never on threads or
+// workers, so trace scenarios keep the suite's bit-identical determinism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "pamr/comm/communication.hpp"
+
+namespace pamr {
+namespace scenario {
+
+/// Parses the trace CSV text form. On failure returns false and sets
+/// `error` naming the offending line/field (leaving `out` untouched).
+/// Structural validation only — endpoints are checked against a concrete
+/// mesh later, by the layer that replays the trace.
+[[nodiscard]] bool parse_trace_csv(std::string_view text, CommSet& out,
+                                   std::string& error);
+
+/// Reads and parses a trace file; `error` names the path on failure.
+[[nodiscard]] bool read_trace_csv(const std::string& path, CommSet& out,
+                                  std::string& error);
+
+/// Canonical CSV text of a CommSet; parse_trace_csv round-trips it exactly
+/// (weights are formatted with the shortest digit count that reparses to
+/// the same bits).
+[[nodiscard]] std::string trace_to_csv(const CommSet& comms);
+
+/// Writes trace_to_csv() to `path`; returns false (after logging) on I/O
+/// failure.
+bool write_trace_csv(const CommSet& comms, const std::string& path);
+
+/// Resolves a trace reference: absolute paths pass through; a relative path
+/// is tried against $PAMR_TRACE_DIR first (when set and the file exists
+/// there), then used as-is relative to the working directory.
+[[nodiscard]] std::string resolve_trace_path(const std::string& path);
+
+/// A loaded trace plus its bounding endpoint, precomputed so the per-
+/// instance mesh-fit check is O(1) instead of O(|trace|).
+struct Trace {
+  CommSet comms;
+  std::int32_t max_u = 0;  ///< largest endpoint coordinate, either axis
+  std::int32_t max_v = 0;
+};
+
+/// The replay loader: resolve_trace_path + read_trace_csv behind a
+/// process-wide cache, so a 50k-instance campaign parses each trace once,
+/// not once per instance. Throws std::runtime_error with the path and
+/// parse diagnostic on failure. The returned reference lives for the
+/// process; callers across pool workers may hold it concurrently.
+[[nodiscard]] const Trace& load_trace(const std::string& path);
+
+}  // namespace scenario
+}  // namespace pamr

@@ -24,7 +24,7 @@ bool resolve_suite_entries(const ScenarioRegistry& registry, std::string_view na
     for (const std::string& name : split(names, ',')) {
       const Scenario* scenario = registry.find(trim(name));
       if (scenario == nullptr) {
-        error = "unknown scenario '" + std::string(trim(name)) + "'";
+        error = registry.unknown_name_message(trim(name));
         return false;
       }
       entries.push_back({scenario, entry_seed(*scenario)});
@@ -66,8 +66,19 @@ exp::PointAggregate run_unit_instances(const Mesh& mesh, const PowerModel& model
     // Envelope position: instance midpoints cover (0, 1) evenly.
     const double t =
         (static_cast<double>(instance) + 0.5) / static_cast<double>(instances);
-    const CommSet comms = spec.generate(mesh, t, rng);
-    aggregate.add(exp::run_instance(mesh, comms, model));
+    const CommSet comms = spec.generate(mesh, model, t, rng);
+    if (spec.sim) {
+      // The probe's seed is the next draw of the instance stream — a pure
+      // function of (seed, point, instance), like everything else here, so
+      // sim aggregates stay bit-identical across threads and workers.
+      sim::SimConfig sim_config;
+      sim_config.cycles = spec.sim_cycles;
+      sim_config.warmup = spec.sim_warmup;
+      sim_config.seed = rng();
+      aggregate.add(exp::run_instance(mesh, comms, model, &sim_config));
+    } else {
+      aggregate.add(exp::run_instance(mesh, comms, model));
+    }
   }
   return aggregate;
 }

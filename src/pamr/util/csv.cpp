@@ -194,6 +194,105 @@ std::size_t CsvStreamWriter::rows_written() const {
   return rows_;
 }
 
+// ----------------------------------------------------------------- reader --
+
+bool parse_csv(std::string_view text, std::vector<std::vector<std::string>>& rows,
+               std::string& error) {
+  std::vector<std::vector<std::string>> parsed;
+  std::vector<std::string> row;
+  std::string cell;
+  std::size_t line = 1;
+  bool quoted = false;       // inside a quoted cell
+  bool was_quoted = false;   // current cell started with a quote
+  bool cell_open = false;    // the current row has at least a started cell
+
+  const auto end_cell = [&] {
+    row.push_back(std::move(cell));
+    cell.clear();
+    was_quoted = false;
+    cell_open = false;
+  };
+  const auto end_row = [&] {
+    end_cell();
+    parsed.push_back(std::move(row));
+    row.clear();
+  };
+
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        if (c == '\n') ++line;
+        cell += c;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (cell.empty() && !was_quoted) {
+          quoted = true;
+          was_quoted = true;
+          cell_open = true;
+        } else {
+          error = "line " + std::to_string(line) + ": unexpected '\"' in cell";
+          return false;
+        }
+        break;
+      case ',':
+        end_cell();
+        cell_open = true;  // a comma always opens the next cell
+        break;
+      case '\n':
+        end_row();
+        ++line;
+        break;
+      case '\r':
+        if (i + 1 < text.size() && text[i + 1] == '\n') break;  // CRLF: \n ends the row
+        error = "line " + std::to_string(line) + ": bare carriage return";
+        return false;
+      default:
+        if (was_quoted) {
+          error = "line " + std::to_string(line) + ": text after closing quote";
+          return false;
+        }
+        cell += c;
+        cell_open = true;
+        break;
+    }
+  }
+  if (quoted) {
+    error = "line " + std::to_string(line) + ": unterminated quoted cell";
+    return false;
+  }
+  if (cell_open || !cell.empty() || !row.empty()) end_row();  // no trailing newline
+  rows = std::move(parsed);
+  error.clear();
+  return true;
+}
+
+bool read_csv_file(const std::string& path, std::vector<std::vector<std::string>>& rows,
+                   std::string& error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    error = "cannot open '" + path + "' for reading";
+    return false;
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  if (!parse_csv(contents.str(), rows, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  return true;
+}
+
 std::string output_directory() {
   if (const char* env = std::getenv("PAMR_OUT_DIR")) {
     if (env[0] != '\0') return env;

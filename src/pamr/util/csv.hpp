@@ -91,6 +91,26 @@ class CsvStreamWriter {
   bool warned_ = false;
 };
 
+// -- Reader ------------------------------------------------------------------
+//
+// Minimal RFC-4180 input side, the mirror of to_csv(): quoted cells may
+// contain commas, doubled quotes and embedded newlines; rows end in \n or
+// \r\n; a trailing newline is optional. Cells are returned verbatim (no
+// numeric coercion — trace.hpp and friends parse what they expect). This is
+// what lets workload layers *load* data the campaign tools wrote.
+
+/// Parses CSV text into rows of cells. Returns false with `error` naming
+/// the 1-based line of the first structural problem (a stray quote, text
+/// after a closing quote, an unterminated quoted cell).
+[[nodiscard]] bool parse_csv(std::string_view text,
+                             std::vector<std::vector<std::string>>& rows,
+                             std::string& error);
+
+/// Reads and parses a CSV file; `error` names the path on I/O failure.
+[[nodiscard]] bool read_csv_file(const std::string& path,
+                                 std::vector<std::vector<std::string>>& rows,
+                                 std::string& error);
+
 /// Output directory for experiment artifacts: $PAMR_OUT_DIR or "." .
 [[nodiscard]] std::string output_directory();
 

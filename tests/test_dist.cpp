@@ -3,10 +3,11 @@
 // the real pamr_dist binary (PAMR_DIST_BIN, injected by CMake) — the
 // end-to-end guarantees: 1-thread SuiteRunner == N-thread SuiteRunner ==
 // 2-worker pamr_dist bit-for-bit, and interrupt → --resume → identical
-// bytes, including with a worker that keeps crashing mid-campaign.
+// bytes, including with a worker that keeps crashing mid-campaign. The
+// bitwise/byte-diff machinery lives in suite_diff.hpp, shared with the
+// workload-layer differential tests (test_workloads).
 #include <gtest/gtest.h>
 
-#include <bit>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -20,42 +21,16 @@
 #include "pamr/dist/protocol.hpp"
 #include "pamr/dist/shard_log.hpp"
 #include "pamr/scenario/suite_runner.hpp"
+#include "suite_diff.hpp"
 
 namespace pamr {
 namespace dist {
 namespace {
 
-// -- Bitwise equality helpers ----------------------------------------------
-
-void expect_stats_identical(const RunningStats& a, const RunningStats& b) {
-  const RunningStats::State sa = a.state();
-  const RunningStats::State sb = b.state();
-  EXPECT_EQ(sa.n, sb.n);
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.mean), std::bit_cast<std::uint64_t>(sb.mean));
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.m2), std::bit_cast<std::uint64_t>(sb.m2));
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.min), std::bit_cast<std::uint64_t>(sb.min));
-  EXPECT_EQ(std::bit_cast<std::uint64_t>(sa.max), std::bit_cast<std::uint64_t>(sb.max));
-}
-
-void expect_aggregate_identical(const exp::PointAggregate& a,
-                                const exp::PointAggregate& b) {
-  EXPECT_EQ(a.instances, b.instances);
-  for (std::size_t s = 0; s < exp::kNumSeries; ++s) {
-    expect_stats_identical(a.normalized_inverse[s], b.normalized_inverse[s]);
-    expect_stats_identical(a.inverse_power[s], b.inverse_power[s]);
-    EXPECT_EQ(a.failures[s], b.failures[s]);
-  }
-  expect_stats_identical(a.static_fraction, b.static_fraction);
-}
-
-// -- Fixtures ---------------------------------------------------------------
-
-scenario::ScenarioSpec parse_spec(const std::string& text) {
-  scenario::ScenarioSpec spec;
-  std::string error;
-  EXPECT_TRUE(scenario::ScenarioSpec::parse(text, spec, error)) << error;
-  return spec;
-}
+using suitetest::expect_aggregate_identical;
+using suitetest::fresh_dir;
+using suitetest::parse_spec;
+using suitetest::read_file;
 
 /// A 4×4 three-point sweep: tiny enough for exhaustive differential runs.
 scenario::Scenario tiny_scenario(std::string name = "tiny") {
@@ -76,21 +51,6 @@ exp::PointAggregate sample_aggregate() {
   const scenario::ScenarioSpec& spec = scenario.points[2].spec;
   return scenario::run_unit_instances(spec.make_mesh(), spec.make_model(), spec, 0, 9,
                                       9, 42, 2);
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(static_cast<bool>(in)) << "missing " << path;
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
-std::string fresh_dir(const std::string& name) {
-  const std::string path = testing::TempDir() + "pamr_dist_" + name;
-  std::filesystem::remove_all(path);
-  std::filesystem::create_directories(path);
-  return path;
 }
 
 // -- Aggregate wire form ----------------------------------------------------
@@ -339,11 +299,7 @@ TEST(Differential, MergerReproducesSuiteRunnerBitForBit) {
 constexpr const char* kScenario = "fig7a_small";
 constexpr int kTrials = 10;
 
-int run_dist(const std::string& args) {
-  const std::string command = std::string(PAMR_DIST_BIN) + " " + args + " > /dev/null";
-  const int status = std::system(command.c_str());
-  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
-}
+using suitetest::run_dist;
 
 /// Reference bytes: the in-process SuiteRunner result written through the
 /// same reporting code `pamr_scenarios --csv --json` uses.
@@ -363,12 +319,7 @@ std::string reference_dir() {
 }
 
 void expect_outputs_match_reference(const std::string& dir) {
-  for (const char* suffix :
-       {"_norm_inv_power.csv", "_failure_ratio.csv", ".json"}) {
-    const std::string name = std::string(kScenario) + suffix;
-    EXPECT_EQ(read_file(dir + "/" + name), read_file(reference_dir() + "/" + name))
-        << name << " differs from the single-process run";
-  }
+  suitetest::expect_outputs_match(reference_dir(), dir, kScenario);
 }
 
 TEST(EndToEnd, TwoWorkersMatchSingleProcessByteForByte) {

@@ -3,6 +3,8 @@
 // thread counts, and the campaign bridge.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "pamr/comm/generator.hpp"
 #include "pamr/exp/campaign.hpp"
 #include "pamr/scenario/suite_runner.hpp"
@@ -70,11 +72,12 @@ TEST(Spec, ZeroScalePhaseGeneratesNoTraffic) {
       spec, error))
       << error;
   const Mesh mesh = spec.make_mesh();
+  const PowerModel model = spec.make_model();
   Rng off_rng(7);
-  const CommSet off = spec.generate(mesh, 0.5, off_rng);  // past the duty window
+  const CommSet off = spec.generate(mesh, model, 0.5, off_rng);  // past the duty window
   EXPECT_TRUE(off.empty());
   Rng on_rng(7);
-  const CommSet on = spec.generate(mesh, 0.1, on_rng);  // inside the duty window
+  const CommSet on = spec.generate(mesh, model, 0.1, on_rng);  // inside the duty window
   EXPECT_EQ(on.size(), 12u);
 }
 
@@ -144,21 +147,27 @@ TEST(Spec, ParseRejectsMalformedInput) {
 }
 
 TEST(Registry, CatalogueIsCompleteAndGeneratesEverywhere) {
+  // The trace suites reference committed files relative to the repo root;
+  // resolve them through $PAMR_TRACE_DIR wherever ctest happens to run.
+  ASSERT_EQ(setenv("PAMR_TRACE_DIR", PAMR_REPO_DIR, /*overwrite=*/1), 0);
   const ScenarioRegistry& registry = ScenarioRegistry::builtin();
   EXPECT_GE(registry.scenarios().size(), 10u);
   for (const char* name :
        {"fig7a_small", "fig7b_mixed", "fig7c_big", "fig8a_few_10comms",
         "fig8b_some_20comms", "fig8c_numerous_40comms", "fig9a_numerous_small",
         "fig9b_some_mixed", "fig9c_few_big", "permutations", "hotspot_storm",
-        "multi_app_mix"}) {
+        "multi_app_mix", "trace_replay", "trace_burst", "injection_sweep",
+        "injection_ramp", "mesh_scaling", "mesh_scaling_transpose",
+        "placement_modes"}) {
     EXPECT_NE(registry.find(name), nullptr) << name;
   }
   for (const Scenario& scenario : registry.scenarios()) {
     ASSERT_FALSE(scenario.points.empty()) << scenario.name;
     for (const ScenarioPoint& point : scenario.points) {
       const Mesh mesh = point.spec.make_mesh();
+      const PowerModel model = point.spec.make_model();
       Rng rng(11);
-      const CommSet comms = point.spec.generate(mesh, 0.5, rng);
+      const CommSet comms = point.spec.generate(mesh, model, 0.5, rng);
       EXPECT_FALSE(comms.empty()) << scenario.name;
       for (const Communication& comm : comms) {
         EXPECT_TRUE(mesh.contains(comm.src)) << scenario.name;
@@ -172,13 +181,14 @@ TEST(Registry, CatalogueIsCompleteAndGeneratesEverywhere) {
 
 TEST(Layers, FlatEnvelopeMatchesTheRawGeneratorBitForBit) {
   const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
   WorkloadLayer layer;
   layer.kind = WorkloadLayer::Kind::kUniform;
   layer.num_comms = 40;
   layer.weight_lo = 100.0;
   layer.weight_hi = 1500.0;
   Rng layer_rng(123);
-  const CommSet via_layer = layer.generate(mesh, 0.37, layer_rng);
+  const CommSet via_layer = layer.generate(mesh, model, 0.37, layer_rng);
   UniformWorkload raw;
   raw.num_comms = 40;
   raw.weight_lo = 100.0;
@@ -190,15 +200,16 @@ TEST(Layers, FlatEnvelopeMatchesTheRawGeneratorBitForBit) {
 
 TEST(Layers, EnvelopeScalesWeightsOnly) {
   const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
   WorkloadLayer layer;
   layer.kind = WorkloadLayer::Kind::kUniform;
   layer.num_comms = 25;
   layer.envelope = IntensityEnvelope::constant(2.0);
   Rng scaled_rng(5);
-  const CommSet scaled = layer.generate(mesh, 0.5, scaled_rng);
+  const CommSet scaled = layer.generate(mesh, model, 0.5, scaled_rng);
   layer.envelope = IntensityEnvelope();
   Rng flat_rng(5);
-  const CommSet flat = layer.generate(mesh, 0.5, flat_rng);
+  const CommSet flat = layer.generate(mesh, model, 0.5, flat_rng);
   ASSERT_EQ(scaled.size(), flat.size());
   for (std::size_t i = 0; i < flat.size(); ++i) {
     EXPECT_EQ(scaled[i].src, flat[i].src);
@@ -209,12 +220,13 @@ TEST(Layers, EnvelopeScalesWeightsOnly) {
 
 TEST(Layers, HotspotStormConvergesOnItsSpots) {
   const Mesh mesh(8, 8);
+  const PowerModel model = PowerModel::paper_discrete();
   WorkloadLayer layer;
   layer.kind = WorkloadLayer::Kind::kHotspots;
   layer.num_hotspots = 3;
   layer.num_comms = 60;
   Rng rng(42);
-  const CommSet comms = layer.generate(mesh, 0.5, rng);
+  const CommSet comms = layer.generate(mesh, model, 0.5, rng);
   ASSERT_EQ(comms.size(), 60u);
   std::vector<Coord> sinks;
   for (const Communication& comm : comms) {

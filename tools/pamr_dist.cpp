@@ -37,6 +37,9 @@ int main(int argc, char** argv) {
   ArgParser parser("pamr_dist",
                    "run scenario suites sharded over worker processes");
   parser.add_string("run", "", "comma-separated scenario names, or 'all'");
+  parser.add_string("spec", "",
+                    "run one ad-hoc scenario spec (see scenario_spec.hpp) instead "
+                    "of --run; same semantics as pamr_scenarios --spec");
   parser.add_int("workers", 2, "worker processes", "PAMR_WORKERS");
   parser.add_int("trials", exp::default_trials(), "instances per point", "PAMR_TRIALS");
   parser.add_int("seed", -1, "base seed; -1 uses each scenario's default");
@@ -52,7 +55,12 @@ int main(int argc, char** argv) {
   if (!parser.parse(argc, argv, exit_code)) return exit_code;
 
   const std::string& names = parser.get_string("run");
-  if (names.empty()) {
+  const std::string& spec_text = parser.get_string("spec");
+  if (names.empty() == spec_text.empty()) {  // neither or both
+    if (!names.empty()) {
+      std::fprintf(stderr, "--run and --spec are mutually exclusive\n");
+      return 2;
+    }
     std::fputs(parser.help_text().c_str(), stdout);
     return 2;
   }
@@ -84,11 +92,24 @@ int main(int argc, char** argv) {
 
   const std::int64_t seed = parser.get_int("seed");
   std::vector<scenario::SuiteEntry> entries;
-  std::string resolve_error;
-  if (!scenario::resolve_suite_entries(ScenarioRegistry::builtin(), names, seed,
-                                       entries, resolve_error)) {
-    std::fprintf(stderr, "%s (try pamr_scenarios --list)\n", resolve_error.c_str());
-    return 2;
+  Scenario adhoc;  // must outlive the plan when --spec is used
+  if (!spec_text.empty()) {
+    scenario::ScenarioSpec spec;
+    std::string error;
+    if (!scenario::ScenarioSpec::parse(spec_text, spec, error)) {
+      std::fprintf(stderr, "bad --spec: %s\n", error.c_str());
+      return 2;
+    }
+    adhoc = scenario::adhoc_scenario(std::move(spec));
+    entries.push_back({&adhoc, seed >= 0 ? static_cast<std::uint64_t>(seed)
+                                         : adhoc.default_seed});
+  } else {
+    std::string resolve_error;
+    if (!scenario::resolve_suite_entries(ScenarioRegistry::builtin(), names, seed,
+                                         entries, resolve_error)) {
+      std::fprintf(stderr, "%s (try pamr_scenarios --list)\n", resolve_error.c_str());
+      return 2;
+    }
   }
 
   scenario::SuiteOptions suite_options;
@@ -117,9 +138,10 @@ int main(int argc, char** argv) {
     if (!outcome.complete) {
       // Echo back every parameter the journal fingerprint pins, so the
       // pasted command cannot be refused as a different campaign.
-      std::string hint = "pamr_dist --run " + names + " --trials " +
-                         std::to_string(suite_options.instances) + " --chunk " +
-                         std::to_string(suite_options.chunk);
+      std::string hint = "pamr_dist ";
+      hint += spec_text.empty() ? "--run " + names : "--spec '" + spec_text + "'";
+      hint += " --trials " + std::to_string(suite_options.instances) + " --chunk " +
+              std::to_string(suite_options.chunk);
       if (seed >= 0) hint += " --seed " + std::to_string(seed);
       hint += " --out " + options.out_dir + " --resume";
       std::fprintf(stderr, "pamr_dist: campaign interrupted; resume with:  %s\n",

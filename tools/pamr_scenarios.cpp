@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   if (const std::string& name = parser.get_string("describe"); !name.empty()) {
     const Scenario* scenario = registry.find(name);
     if (scenario == nullptr) {
-      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n", name.c_str());
+      std::fprintf(stderr, "%s\n", registry.unknown_name_message(name).c_str());
       return 2;
     }
     std::printf("%s — %s\n", scenario->name.c_str(), scenario->description.c_str());
@@ -105,11 +105,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --spec: %s\n", error.c_str());
       return 2;
     }
-    Scenario adhoc;
-    adhoc.name = "adhoc";
-    adhoc.description = "ad-hoc spec from the command line";
-    adhoc.points.push_back({0.0, std::move(spec)});
-    return run_one(adhoc) ? 0 : 2;
+    return run_one(scenario::adhoc_scenario(std::move(spec))) ? 0 : 2;
   }
 
   const std::string& names = parser.get_string("run");
