@@ -4,6 +4,7 @@
 
 #include "pamr/routing/routers.hpp"
 #include "pamr/sim/sim_stats.hpp"
+#include "pamr/topo/topo_router.hpp"
 
 namespace pamr {
 namespace exp {
@@ -57,6 +58,20 @@ InstanceSample run_instance(const Mesh& mesh, const CommSet& comms,
     sample.sim = probe_with_simulator(mesh, comms, best_routing, *sim_config);
   }
   return sample;
+}
+
+InstanceSample run_instance(const topo::Topology& topology, const CommSet& comms,
+                            const PowerModel& model) {
+  std::array<HeuristicSample, kNumBaseRouters> base;
+  const auto kinds = all_base_routers();
+  for (std::size_t h = 0; h < kinds.size(); ++h) {
+    const RouteResult result = topo::route_on(topology, kinds[h], comms, model);
+    base[h].valid = result.valid;
+    base[h].power = result.power;
+    base[h].static_power = result.breakdown.static_part;
+    base[h].elapsed_ms = result.elapsed_ms;
+  }
+  return make_instance_sample(base);
 }
 
 }  // namespace exp

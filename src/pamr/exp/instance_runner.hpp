@@ -16,6 +16,7 @@
 #include "pamr/mesh/mesh.hpp"
 #include "pamr/power/power_model.hpp"
 #include "pamr/sim/simulator.hpp"
+#include "pamr/topo/topology.hpp"
 
 namespace pamr {
 namespace exp {
@@ -27,6 +28,15 @@ namespace exp {
 [[nodiscard]] InstanceSample run_instance(const Mesh& mesh, const CommSet& comms,
                                           const PowerModel& model,
                                           const sim::SimConfig* sim_config = nullptr);
+
+/// Topology-generic variant: the six policy analogues via topo::route_on.
+/// No simulation probe (the cycle simulator is rect-only; ScenarioSpec
+/// rejects sim=on for other topologies at parse time). On the rectangular
+/// topology this produces the exact samples of the Mesh overload — route_on
+/// delegates to the original routers.
+[[nodiscard]] InstanceSample run_instance(const topo::Topology& topology,
+                                          const CommSet& comms,
+                                          const PowerModel& model);
 
 }  // namespace exp
 }  // namespace pamr

@@ -11,6 +11,11 @@ namespace pamr {
 LinkLoads::LinkLoads(const Mesh& mesh)
     : loads_(static_cast<std::size_t>(mesh.num_links()), 0.0) {}
 
+LinkLoads::LinkLoads(std::int32_t num_links)
+    : loads_(static_cast<std::size_t>(num_links), 0.0) {
+  PAMR_ASSERT(num_links >= 0);
+}
+
 void LinkLoads::add(LinkId link, double weight) {
   PAMR_ASSERT(link >= 0 && std::cmp_less(link, loads_.size()));
   loads_[static_cast<std::size_t>(link)] += weight;

@@ -23,6 +23,10 @@ namespace pamr {
 class LinkLoads {
  public:
   explicit LinkLoads(const Mesh& mesh);
+  /// Load vector over any link-id space of the given size — lets the
+  /// accounting work for topo::Topology link graphs, whose ids are dense
+  /// like the mesh's but differently sized.
+  explicit LinkLoads(std::int32_t num_links);
 
   void add(LinkId link, double weight);
   void add_path(const Path& path, double weight);

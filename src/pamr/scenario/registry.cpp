@@ -1,6 +1,7 @@
 #include "pamr/scenario/registry.hpp"
 
 #include <algorithm>
+#include <tuple>
 #include <utility>
 
 #include "pamr/util/assert.hpp"
@@ -340,6 +341,50 @@ Scenario placement_modes() {
   return scenario;
 }
 
+// -- Topology axis (topo=rect|torus|diag) ----------------------------------
+
+Scenario topology_compare() {
+  Scenario scenario;
+  scenario.name = "topology_compare";
+  scenario.description =
+      "rect (0,3) vs torus (1,4) vs diag (2,5) on the fig7/fig8 workloads";
+  scenario.x_label = "topo_x_workload";
+  // Identical workloads per topology: the spec's grid draw ignores topo=,
+  // so points k and k+3 route the very same communication sets. Workload A
+  // (x 0..2) is fig7a's 40-comm uniform mix; workload B (x 3..5) is fig8's
+  // near-constant 700 Mb/s weights.
+  double x = 0.0;
+  for (const auto& [lo, hi, n] :
+       {std::tuple{100.0, 1500.0, 40}, std::tuple{699.0, 701.0, 20}}) {
+    for (const topo::TopoKind kind :
+         {topo::TopoKind::kRect, topo::TopoKind::kTorus, topo::TopoKind::kDiag}) {
+      ScenarioSpec spec = single_layer_spec(
+          uniform_layer(static_cast<std::int32_t>(n), lo, hi));
+      spec.topo = kind;
+      scenario.points.push_back({x, std::move(spec)});
+      x += 1.0;
+    }
+  }
+  return scenario;
+}
+
+Scenario topology_scaling() {
+  Scenario scenario;
+  scenario.name = "topology_scaling";
+  scenario.description =
+      "uniform load at fixed per-core density on 4x4..12x12 tori";
+  scenario.x_label = "mesh_p";
+  for (const std::int32_t p : {4, 6, 8, 10, 12}) {
+    // Same density discipline as mesh_scaling, routed on the torus.
+    ScenarioSpec spec = single_layer_spec(uniform_layer(5 * p * p / 8, 100.0, 1500.0));
+    spec.mesh_p = p;
+    spec.mesh_q = p;
+    spec.topo = topo::TopoKind::kTorus;
+    scenario.points.push_back({static_cast<double>(p), std::move(spec)});
+  }
+  return scenario;
+}
+
 }  // namespace
 
 const ScenarioRegistry& ScenarioRegistry::builtin() {
@@ -385,6 +430,9 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     built.add(mesh_scaling());
     built.add(mesh_scaling_transpose());
     built.add(placement_modes());
+    // Topology axis: same workloads, different interconnects.
+    built.add(topology_compare());
+    built.add(topology_scaling());
     return built;
   }();
   return registry;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "pamr/comm/generator.hpp"
@@ -209,13 +210,21 @@ CommSet generate_apps(const Mesh& mesh, const PowerModel& model,
 CommSet generate_trace_replay(const Mesh& mesh, const WorkloadLayer& layer, Rng& rng) {
   PAMR_CHECK(!layer.trace_file.empty(), "trace layer needs file=");
   const Trace& trace = load_trace(layer.trace_file);
-  // The trace's bounding endpoint is precomputed at load, so this runs per
-  // instance at O(1) instead of rescanning a 100k-row trace every draw.
-  PAMR_CHECK(trace.max_u < mesh.p() && trace.max_v < mesh.q(),
-             "trace '" + layer.trace_file + "' has endpoints up to (" +
-                 std::to_string(trace.max_u) + "," + std::to_string(trace.max_v) +
-                 "), outside the " + std::to_string(mesh.p()) + "x" +
-                 std::to_string(mesh.q()) + " mesh");
+  // The trace's bounding endpoints are precomputed at load, so this runs
+  // per instance at O(1) instead of rescanning a 100k-row trace every draw.
+  // Oversized core ids are bad *input* (a trace recorded on a bigger mesh),
+  // not a logic error — reject with the offending CSV row so the user can
+  // fix the file or the mesh= key.
+  if (trace.max_u >= mesh.p() || trace.max_v >= mesh.q()) {
+    const bool u_bad = trace.max_u >= mesh.p();
+    const std::int32_t bound = u_bad ? trace.max_u : trace.max_v;
+    const std::int32_t row = u_bad ? trace.max_u_row : trace.max_v_row;
+    throw std::runtime_error(
+        "trace replay: '" + layer.trace_file + "' row " + std::to_string(row) +
+        " has " + (u_bad ? std::string("u") : std::string("v")) + "=" +
+        std::to_string(bound) + ", outside the " + std::to_string(mesh.p()) +
+        "x" + std::to_string(mesh.q()) + " mesh");
+  }
   const CommSet& full = trace.comms;
   const auto want = static_cast<std::size_t>(layer.trace_sample);
   if (layer.trace_sample <= 0 || want >= full.size()) return full;
@@ -305,6 +314,11 @@ CommSet ScenarioSpec::generate(const Mesh& mesh, const PowerModel& model, double
 std::string ScenarioSpec::to_string() const {
   std::string out = "mesh=" + std::to_string(mesh_p) + "x" + std::to_string(mesh_q) +
                     " model=" + (model == ModelKind::kDiscrete ? "discrete" : "theory");
+  // The default rect is omitted so pre-topology spec text round-trips
+  // byte-identically (output files embed spec.to_string()).
+  if (topo != topo::TopoKind::kRect) {
+    out += " topo=" + std::string(topo::to_cstring(topo));
+  }
   if (sim) {
     out += " sim=on cycles=" + std::to_string(sim_cycles) +
            " warmup=" + std::to_string(sim_warmup);
@@ -434,6 +448,11 @@ bool parse_global(const std::vector<KeyValue>& pairs, ScenarioSpec& spec,
         spec.model = ScenarioSpec::ModelKind::kTheory;
       } else {
         error = "bad model '" + kv.value + "' (want discrete or theory)";
+        return false;
+      }
+    } else if (kv.key == "topo") {
+      if (!topo::parse_topo_kind(kv.value, spec.topo)) {
+        error = "bad topo '" + kv.value + "' (want rect, torus or diag)";
         return false;
       }
     } else {
@@ -601,7 +620,19 @@ namespace {
 /// precondition that generate() would otherwise only trip at run time.
 bool validate_against_mesh(const ScenarioSpec& spec, std::string& error) {
   const std::int32_t cores = spec.mesh_p * spec.mesh_q;
+  if (spec.sim && spec.topo != topo::TopoKind::kRect) {
+    // The cycle simulator models the rectangular router pipeline.
+    error = "sim=on needs topo=rect";
+    return false;
+  }
   for (const WorkloadLayer& layer : spec.layers) {
+    if (layer.kind == WorkloadLayer::Kind::kApps &&
+        layer.placement == WorkloadLayer::Placement::kOptimized &&
+        spec.topo != topo::TopoKind::kRect) {
+      // optimize_placement judges placements by mesh-routed power.
+      error = "place=optimized needs topo=rect";
+      return false;
+    }
     switch (layer.kind) {
       case WorkloadLayer::Kind::kPattern:
         if (layer.pattern == TrafficPattern::kTranspose && spec.mesh_p != spec.mesh_q) {

@@ -35,6 +35,7 @@
 #include "pamr/mesh/mesh.hpp"
 #include "pamr/power/power_model.hpp"
 #include "pamr/scenario/envelope.hpp"
+#include "pamr/topo/topology.hpp"
 #include "pamr/util/rng.hpp"
 
 namespace pamr {
@@ -115,6 +116,15 @@ struct ScenarioSpec {
     kTheory,    ///< PowerModel::theory() — continuous, Pleak = 0
   };
   ModelKind model = ModelKind::kDiscrete;
+
+  // Interconnect topology ("topo" in the text form, global section).
+  // Workload layers always draw endpoints on the p×q grid, so the same spec
+  // (and seed) produces the *identical* communication set on every
+  // topology — the axis varies only how it is routed. to_string() omits the
+  // default, keeping rectangular spec text (and thus every existing output
+  // file) byte-identical. sim=on and place=optimized remain rect-only.
+  topo::TopoKind topo = topo::TopoKind::kRect;
+
   std::vector<WorkloadLayer> layers;
 
   // Open-loop injection probe ("sim"/"cycles"/"warmup" in the text form,

@@ -170,9 +170,21 @@ const Trace& load_trace(const std::string& path) {
   if (!read_trace_csv(resolve_trace_path(path), trace.comms, error)) {
     throw std::runtime_error("trace replay: " + error);
   }
-  for (const Communication& comm : trace.comms) {
-    trace.max_u = std::max({trace.max_u, comm.src.u, comm.snk.u});
-    trace.max_v = std::max({trace.max_v, comm.src.v, comm.snk.v});
+  for (std::size_t i = 0; i < trace.comms.size(); ++i) {
+    const Communication& comm = trace.comms[i];
+    // Data row i sits on CSV row i + 2 (row 1 is the header) — the same
+    // numbering as rows_to_trace's diagnostics.
+    const auto row = static_cast<std::int32_t>(i) + 2;
+    const std::int32_t u = std::max(comm.src.u, comm.snk.u);
+    const std::int32_t v = std::max(comm.src.v, comm.snk.v);
+    if (i == 0 || u > trace.max_u) {
+      trace.max_u = u;
+      trace.max_u_row = row;
+    }
+    if (i == 0 || v > trace.max_v) {
+      trace.max_v = v;
+      trace.max_v_row = row;
+    }
   }
   return cache.emplace(path, std::move(trace)).first->second;
 }

@@ -56,6 +56,11 @@ struct Trace {
   CommSet comms;
   std::int32_t max_u = 0;  ///< largest endpoint coordinate, either axis
   std::int32_t max_v = 0;
+  // CSV row (1-based, header = row 1) where each extreme first appears, so
+  // a mesh-fit failure can name the offending line instead of just the
+  // bound.
+  std::int32_t max_u_row = 0;
+  std::int32_t max_v_row = 0;
 };
 
 /// The replay loader: resolve_trace_path + read_trace_csv behind a

@@ -1,6 +1,7 @@
 #include "pamr/scenario/work_list.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "pamr/exp/instance_runner.hpp"
 #include "pamr/util/assert.hpp"
@@ -60,6 +61,15 @@ exp::PointAggregate run_unit_instances(const Mesh& mesh, const PowerModel& model
                                        std::size_t end, std::size_t instances,
                                        std::uint64_t seed, std::uint64_t point_id) {
   PAMR_CHECK(begin <= end && end <= instances, "unit range out of bounds");
+  PAMR_CHECK(!(spec.sim && spec.topo != topo::TopoKind::kRect),
+             "sim=on needs topo=rect");
+  // Non-rect units route through the topology analogues. The topology is
+  // built once per unit; workloads still draw on the mesh grid, so the
+  // communication sets are identical across the topo= axis.
+  std::unique_ptr<const topo::Topology> topology;
+  if (spec.topo != topo::TopoKind::kRect) {
+    topology = topo::make_topology(spec.topo, spec.mesh_p, spec.mesh_q);
+  }
   exp::PointAggregate aggregate;
   for (std::size_t instance = begin; instance < end; ++instance) {
     Rng rng(derive_seed(seed, point_id, instance));
@@ -67,7 +77,9 @@ exp::PointAggregate run_unit_instances(const Mesh& mesh, const PowerModel& model
     const double t =
         (static_cast<double>(instance) + 0.5) / static_cast<double>(instances);
     const CommSet comms = spec.generate(mesh, model, t, rng);
-    if (spec.sim) {
+    if (topology != nullptr) {
+      aggregate.add(exp::run_instance(*topology, comms, model));
+    } else if (spec.sim) {
       // The probe's seed is the next draw of the instance stream — a pure
       // function of (seed, point, instance), like everything else here, so
       // sim aggregates stay bit-identical across threads and workers.

@@ -1,0 +1,45 @@
+#include "pamr/mesh/diagonal.hpp"
+#include "pamr/topo/topologies.hpp"
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+namespace topo {
+
+RectTopology::RectTopology(std::int32_t p, std::int32_t q)
+    : Topology(TopoKind::kRect, p, q, kNumLinkDirs), mesh_(p, q) {
+  // Mirror the Mesh's own enumeration so LinkIds coincide; the assertion
+  // pins that equivalence (it is what makes rect delegation bit-identical).
+  for (const LinkInfo& info : mesh_.links()) {
+    add_link(info.from, static_cast<std::int32_t>(info.dir), info.to);
+  }
+  PAMR_ASSERT(num_links() == mesh_.num_links());
+}
+
+std::int32_t RectTopology::distance(Coord a, Coord b) const {
+  PAMR_CHECK(contains(a) && contains(b), "core outside topology");
+  return manhattan_distance(a, b);
+}
+
+std::vector<TopoStep> RectTopology::next_steps(Coord at, Coord snk) const {
+  PAMR_CHECK(contains(at) && contains(snk), "core outside topology");
+  std::vector<TopoStep> steps;
+  steps.reserve(2);
+  if (at.v != snk.v) {
+    const LinkDir dir = snk.v > at.v ? LinkDir::kEast : LinkDir::kWest;
+    steps.push_back(TopoStep{mesh_.link_from(at, dir), step(at, dir)});
+  }
+  if (at.u != snk.u) {
+    const LinkDir dir = snk.u > at.u ? LinkDir::kSouth : LinkDir::kNorth;
+    steps.push_back(TopoStep{mesh_.link_from(at, dir), step(at, dir)});
+  }
+  return steps;
+}
+
+std::vector<std::int32_t> RectTopology::vc_classes(const Path& path) const {
+  return std::vector<std::int32_t>(
+      path.links.size(),
+      static_cast<std::int32_t>(quadrant_of(path.src, path.snk)));
+}
+
+}  // namespace topo
+}  // namespace pamr

@@ -8,6 +8,7 @@
 // interrupted+resumed, bit for bit.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <stdexcept>
@@ -305,8 +306,27 @@ TEST(TraceReplay, EndpointOutsideTheMeshFailsLoudly) {
   const ScenarioSpec spec =
       parse_spec("mesh=2x2 model=discrete ; kind=trace file=" + path);
   Rng rng(1);
-  EXPECT_THROW((void)spec.generate(spec.make_mesh(), spec.make_model(), 0.5, rng),
-               std::logic_error);
+  // Oversized core ids are bad input, not a logic error — rejected with a
+  // runtime_error naming the offending CSV row (header = row 1).
+  try {
+    (void)spec.generate(spec.make_mesh(), spec.make_model(), 0.5, rng);
+    FAIL() << "oversized trace endpoints must throw";
+  } catch (const std::runtime_error& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find(" row "), std::string::npos) << what;
+    EXPECT_NE(what.find("2x2 mesh"), std::string::npos) << what;
+    // The named row must be a real data row of the file (2..n+1).
+    std::int32_t max_u = 0;
+    std::size_t max_row = 0;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const std::int32_t u = std::max(trace[i].src.u, trace[i].snk.u);
+      if (u > max_u) {
+        max_u = u;
+        max_row = i + 2;
+      }
+    }
+    EXPECT_NE(what.find("row " + std::to_string(max_row)), std::string::npos) << what;
+  }
 }
 
 // -- Open-loop injection probe ----------------------------------------------

@@ -1,19 +1,23 @@
 // Perf-trajectory exporter: times the micro_heuristics matrix with plain
 // wall clocks and dumps one JSON document, so every PR can regenerate a
 // comparable baseline. BENCH_2.json in the repo root was recorded when the
-// incremental PR removal loop landed; BENCH_4.json adds the XYI/BEST rows
-// at 16×16/32×32 unlocked by the incremental XYI local search. Rows with
-// "valid": false, "power": 0 are model-infeasible points (the workload's
-// loads exceed the max link frequency) — expected outcomes, not failures.
+// incremental PR removal loop landed; BENCH_4.json added the XYI/BEST rows
+// at 16×16/32×32 unlocked by the incremental XYI local search; BENCH_6.json
+// adds the topology column and the 16×16 torus rows routed through the
+// topo:: analogues (schema pamr-bench/3). Rows with "valid": false,
+// "power": 0 are model-infeasible points (the workload's loads exceed the
+// max link frequency) — expected outcomes, not failures.
 //
-//   $ pamr_bench_export --out BENCH_4.json [--reps 5] [--quick]
+//   $ pamr_bench_export --out BENCH_6.json [--reps 5] [--quick]
 //
-// The matrix comes from pamr/bench/heuristics_matrix.hpp — the same
+// The mesh matrix comes from pamr/bench/heuristics_matrix.hpp — the same
 // meshes, comm counts, router sets and generator stream as
 // bench/micro_heuristics — so google-benchmark numbers and this export
-// are directly comparable. Per point the median of --reps runs is
-// reported (medians are robust against scheduler noise on shared CI
-// runners). --quick drops the 32×32 points for sub-second smoke runs.
+// are directly comparable; the torus rows reuse the identical 16×16
+// workloads (the generator draws on the grid, independent of topology).
+// Per point the median of --reps runs is reported (medians are robust
+// against scheduler noise on shared CI runners). --quick drops the 32×32
+// points for sub-second smoke runs.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -22,6 +26,8 @@
 #include <vector>
 
 #include "pamr/bench/heuristics_matrix.hpp"
+#include "pamr/topo/topo_router.hpp"
+#include "pamr/topo/topologies.hpp"
 #include "pamr/util/args.hpp"
 #include "pamr/util/timer.hpp"
 
@@ -35,12 +41,26 @@ std::string json_double(double value) {
   return buffer;
 }
 
+std::string json_row(const std::string& bench, std::int32_t p, std::int32_t q,
+                     std::int32_t nc, RouterKind kind, const char* topo,
+                     const std::vector<double>& sorted_times_ms,
+                     const RouteResult& result) {
+  return "    {\"bench\": \"" + bench + "\", \"mesh\": \"" + std::to_string(p) +
+         "x" + std::to_string(q) + "\", \"topo\": \"" + topo +
+         "\", \"nc\": " + std::to_string(nc) + ", \"router\": \"" +
+         to_cstring(kind) +
+         "\", \"median_ms\": " + json_double(sorted_times_ms[sorted_times_ms.size() / 2]) +
+         ", \"min_ms\": " + json_double(sorted_times_ms.front()) +
+         ", \"valid\": " + (result.valid ? "true" : "false") +
+         ", \"power\": " + json_double(result.valid ? result.power : 0.0) + "}";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser parser("pamr_bench_export",
                    "time the micro_heuristics matrix and export JSON");
-  parser.add_string("out", "BENCH_4.json", "output path ('-' for stdout)");
+  parser.add_string("out", "BENCH_6.json", "output path ('-' for stdout)");
   parser.add_int("reps", 5, "timed repetitions per point (median reported)");
   parser.add_flag("quick", "skip the 32x32 points");
   int exit_code = 0;
@@ -69,27 +89,52 @@ int main(int argc, char** argv) {
           times_ms.push_back(timer.elapsed_ms());
         }
         std::sort(times_ms.begin(), times_ms.end());
-        const double median = times_ms[times_ms.size() / 2];
 
-        rows.push_back(
-            "    {\"bench\": \"" + std::string(mesh_case.prefix) + "/" +
-            to_cstring(kind) + "/" + std::to_string(nc) + "\", \"mesh\": \"" +
-            std::to_string(mesh_case.p) + "x" + std::to_string(mesh_case.q) +
-            "\", \"nc\": " + std::to_string(nc) + ", \"router\": \"" +
-            to_cstring(kind) + "\", \"median_ms\": " + json_double(median) +
-            ", \"min_ms\": " + json_double(times_ms.front()) +
-            ", \"valid\": " + (result.valid ? "true" : "false") +
-            ", \"power\": " + json_double(result.valid ? result.power : 0.0) +
-            "}");
+        const std::string bench = std::string(mesh_case.prefix) + "/" +
+                                  to_cstring(kind) + "/" + std::to_string(nc);
+        rows.push_back(json_row(bench, mesh_case.p, mesh_case.q, nc, kind,
+                                "rect", times_ms, result));
         std::fprintf(stderr, "%-7s %5dx%-5d nc=%-5d %8.3f ms\n",
-                     to_cstring(kind), mesh_case.p, mesh_case.q, nc, median);
+                     to_cstring(kind), mesh_case.p, mesh_case.q, nc,
+                     times_ms[times_ms.size() / 2]);
+      }
+    }
+  }
+
+  // The topology analogues on the 16×16 torus, same workloads as route16.
+  {
+    const Mesh mesh(16, 16);
+    const auto topology = topo::make_topology(topo::TopoKind::kTorus, 16, 16);
+    constexpr RouterKind kTorusKinds[] = {
+        RouterKind::kXY,  RouterKind::kSG, RouterKind::kIG,  RouterKind::kTB,
+        RouterKind::kXYI, RouterKind::kPR, RouterKind::kBest};
+    for (const RouterKind kind : kTorusKinds) {
+      for (const std::int32_t nc : {100, 500}) {
+        const CommSet comms = bench::heuristics_workload(mesh, nc);
+
+        RouteResult result = topo::route_on(*topology, kind, comms, model);
+        std::vector<double> times_ms;
+        times_ms.reserve(reps);
+        for (std::size_t rep = 0; rep < reps; ++rep) {
+          const WallTimer timer;
+          result = topo::route_on(*topology, kind, comms, model);
+          times_ms.push_back(timer.elapsed_ms());
+        }
+        std::sort(times_ms.begin(), times_ms.end());
+
+        const std::string bench =
+            "torus16/" + std::string(to_cstring(kind)) + "/" + std::to_string(nc);
+        rows.push_back(
+            json_row(bench, 16, 16, nc, kind, "torus", times_ms, result));
+        std::fprintf(stderr, "%-7s torus 16x16 nc=%-5d %8.3f ms\n",
+                     to_cstring(kind), nc, times_ms[times_ms.size() / 2]);
       }
     }
   }
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"pamr-bench/2\",\n";
+  json += "  \"schema\": \"pamr-bench/3\",\n";
   json += "  \"generator\": {\"seed\": " + std::to_string(bench::kWorkloadSeed) +
           ", \"weight_lo\": " + json_double(bench::kWeightLo) +
           ", \"weight_hi\": " + json_double(bench::kWeightHi) + "},\n";
