@@ -81,6 +81,21 @@ void CrossingIndex::apply_rewrite(std::uint32_t comm, const std::vector<Coord>& 
                     comm);
     visitors_[static_cast<std::size_t>(mesh_->core_index(after[k]))].push_back(comm);
   }
+#if PAMR_CHECK_LEVEL >= 2
+  // Paranoid: the rewritten window's member lists must still be strictly
+  // ascending and parallel to their eval slots — the ascending walk is what
+  // reproduces the reference candidate scan's tie-breaks bit for bit.
+  for (std::size_t k = 0; k + 1 < after.size(); ++k) {
+    const auto idx = static_cast<std::size_t>(mesh_->link_between(after[k], after[k + 1]));
+    const std::vector<std::uint32_t>& list = members_[idx];
+    PAMR_INVARIANT("crossing-index", list.size() == evals_[idx].size(),
+                   "member and eval-slot lists diverged");
+    PAMR_INVARIANT("crossing-index",
+                   std::is_sorted(list.begin(), list.end()) &&
+                       std::adjacent_find(list.begin(), list.end()) == list.end(),
+                   "member list is not strictly ascending after a rewrite");
+  }
+#endif
 }
 
 void CrossingIndex::stamp_core(Coord core) {

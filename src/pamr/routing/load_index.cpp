@@ -73,6 +73,40 @@ void LoadIndex::reorder(const std::vector<LinkId>& changed, const LinkLoads& loa
   for (const LinkId link : resorted) {
     changed_mark_[static_cast<std::size_t>(link)] = 0;
   }
+#if PAMR_CHECK_LEVEL >= 2
+  check_invariants(loads);
+#endif
+}
+
+void LoadIndex::check_invariants(const LinkLoads& loads) const {
+  std::vector<char> seen(pos_.size(), 0);
+  for (std::size_t at = 0; at < order_.size(); ++at) {
+    const auto link = static_cast<std::size_t>(order_[at]);
+    PAMR_INVARIANT_ALWAYS("load-index", link < pos_.size(),
+                          "order_ holds an out-of-range link id");
+    PAMR_INVARIANT_ALWAYS("load-index", seen[link] == 0,
+                          "link appears twice in order_");
+    seen[link] = 1;
+    PAMR_INVARIANT_ALWAYS(
+        "load-index", pos_[link] == static_cast<std::int32_t>(at),
+        "pos_ disagrees with order_ for link " + std::to_string(link));
+  }
+  // Live links must be in non-increasing load order. Retired links are
+  // skipped: reorder() ignores load changes reported for them, so their
+  // stored position may legitimately lag the current loads until purged.
+  double previous = 0.0;
+  bool first = true;
+  for (const LinkId link : order_) {
+    if (retired_[static_cast<std::size_t>(link)] != 0) continue;
+    const double load = loads.load(link);
+    PAMR_INVARIANT_ALWAYS(
+        "load-index", first || previous >= load,
+        "order_ is not sorted by non-increasing load at link " +
+            std::to_string(static_cast<std::size_t>(link)) +
+            " — a load change was never reported to reorder()");
+    previous = load;
+    first = false;
+  }
 }
 
 }  // namespace pamr

@@ -105,7 +105,19 @@ class LoadIndex {
   /// loads of `changed` (each currently in the order, unless retired;
   /// duplicates not allowed). Exactly equivalent to the seed's
   /// stable_sort of the persistent order vector by the new loads.
+  /// At PAMR_CHECK_LEVEL >= 2 every call re-verifies the full structural
+  /// invariant against `loads` (O(L) per removal).
   void reorder(const std::vector<LinkId>& changed, const LinkLoads& loads);
+
+  /// Verifies the index's structural invariants against the current loads:
+  /// order_/pos_ agree, no link appears twice, and live links are in
+  /// non-increasing load order. Throws pamr::InvariantError (category
+  /// "load-index") on the first violation — an order that has drifted from
+  /// `loads` means some load change was never reported to reorder(), which
+  /// is exactly the corruption that silently changes PR's removal order.
+  /// Called automatically from reorder() under the paranoid check level;
+  /// always callable directly (tests do).
+  void check_invariants(const LinkLoads& loads) const;
 
  private:
   std::vector<LinkId> order_;          ///< live links, (load desc, history) order

@@ -234,6 +234,7 @@ CommSet generate_trace_replay(const Mesh& mesh, const WorkloadLayer& layer, Rng&
   // quadratic scan here would hang large draws) — then the subset replays
   // in trace order: the subset varies per instance, the ordering
   // discipline does not.
+  // pamr-lint: ordered-ok (membership-only: the subset is sorted below before anything iterates it)
   std::unordered_set<std::size_t> chosen;
   chosen.reserve(want);
   for (std::size_t j = full.size() - want; j < full.size(); ++j) {

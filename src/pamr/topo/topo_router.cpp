@@ -206,6 +206,13 @@ Routing route_xyi(const Topology& topology, const CommSet& comms,
         }
       }
       if (best != nullptr) {
+        // Paranoid: an applied move must stay inside the shortest-path
+        // family — two_change_paths enumerates only distance-reducing
+        // chains, and a longer path would silently change the load
+        // accounting every later move reads.
+        PAMR_INVARIANT("topo-router",
+                       best->length() == topology.distance(comm.src, comm.snk),
+                       "XYI move left the shortest-path family");
         flow.path = *best;
         ++stats.moves;
         improved = true;
@@ -259,6 +266,14 @@ Routing route_pr(const Topology& topology, const CommSet& comms,
         }
       }
       if (best != nullptr) {
+        // Paranoid: a PR move exists to unload the hot link — a replacement
+        // path that still crosses it (or leaves the shortest family) means
+        // the candidate filter broke and the retirement argument with it.
+        PAMR_INVARIANT("topo-router", !path_uses(*best, hot),
+                       "PR move still crosses the hot link it was evicted from");
+        PAMR_INVARIANT("topo-router",
+                       best->length() == topology.distance(comm.src, comm.snk),
+                       "PR move left the shortest-path family");
         flow.path = *best;
         ++stats.moves;
         moved = true;

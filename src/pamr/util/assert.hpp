@@ -1,11 +1,28 @@
-// Lightweight assertion macros for libpamr.
+// Contract layer for libpamr: categorized check macros behind a build knob.
 //
-// PAMR_ASSERT is active in all build types (the library is a research
-// artifact: silently wrong routings are far more expensive than the cost of
-// a branch), and prints the failing expression with source location before
-// aborting. PAMR_CHECK throws std::logic_error instead of aborting and is
-// used for validating *user-provided* inputs on public API boundaries, where
-// a recoverable error is preferable.
+// The library's core guarantee is determinism — bit-identical results across
+// thread counts, worker counts and resume boundaries — so a silently wrong
+// routing is far more expensive than the cost of a branch. The macros here
+// grade that cost into three tiers, selected by PAMR_CHECK_LEVEL:
+//
+//   PAMR_CHECK(expr, msg)                always on (every level). Validates
+//       *user-provided* input on public API boundaries and throws
+//       pamr::CheckError (a std::logic_error) so callers can recover.
+//   PAMR_DCHECK(expr) / PAMR_DCHECK_MSG  level >= 1 (the default). Cheap
+//       internal-consistency checks; a failure is a library bug, so it
+//       prints the structured message and aborts.
+//   PAMR_INVARIANT(category, expr, msg)  level >= 2 ("paranoid"). Possibly
+//       expensive structural invariants (O(n) sweeps over an index after a
+//       patch). Throws pamr::InvariantError carrying the category so tests
+//       and sanitizer CI — which build with -DPAMR_CHECK_LEVEL=2 — can
+//       assert on exactly which contract broke.
+//
+// Every failure message is structured the same way:
+//   PAMR_<KIND>[<category>] failed: <expr> at <file>:<line> — <msg>
+//
+// PAMR_ASSERT / PAMR_ASSERT_MSG are the pre-existing abort-on-failure
+// macros; they stay active at every level (they guard places where
+// continuing would read out of bounds).
 #pragma once
 
 #include <cstdio>
@@ -13,7 +30,43 @@
 #include <stdexcept>
 #include <string>
 
+// Build knob: 0 = input checks only, 1 = + internal consistency (default),
+// 2 = paranoid (+ expensive structural invariants). Set globally via the
+// PAMR_CHECK_LEVEL CMake option; a TU may raise its own level before
+// including this header (tests do, to exercise the paranoid paths).
+#ifndef PAMR_CHECK_LEVEL
+#define PAMR_CHECK_LEVEL 1
+#endif
+
 namespace pamr {
+
+/// Thrown by PAMR_CHECK: malformed input reached a public API boundary.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown by PAMR_INVARIANT: an internal structural invariant broke.
+class InvariantError : public std::logic_error {
+ public:
+  InvariantError(std::string category, const std::string& what)
+      : std::logic_error(what), category_(std::move(category)) {}
+
+  [[nodiscard]] const std::string& category() const noexcept { return category_; }
+
+ private:
+  std::string category_;
+};
+
+/// The PAMR_CHECK_LEVEL the *library* translation units were compiled with
+/// (a TU's own macro may differ). Lets tests decide at runtime whether the
+/// automatic paranoid sweeps are active in the linked library.
+[[nodiscard]] int compiled_check_level() noexcept;
+
+[[nodiscard]] std::string format_contract_failure(const char* kind,
+                                                  const char* category,
+                                                  const char* expr, const char* file,
+                                                  int line, const std::string& msg);
 
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
@@ -22,12 +75,15 @@ namespace pamr {
   std::abort();
 }
 
-[[noreturn]] inline void check_fail(const char* expr, const char* file,
-                                    int line, const std::string& msg) {
-  throw std::logic_error("PAMR_CHECK failed: " + std::string(expr) + " at " +
-                         file + ":" + std::to_string(line) +
-                         (msg.empty() ? "" : " — " + msg));
-}
+[[noreturn]] void check_fail(const char* expr, const char* file, int line,
+                             const std::string& msg);
+
+[[noreturn]] void dcheck_fail(const char* expr, const char* file, int line,
+                              const char* msg);
+
+[[noreturn]] void invariant_fail(const char* category, const char* expr,
+                                 const char* file, int line,
+                                 const std::string& msg);
 
 }  // namespace pamr
 
@@ -51,3 +107,45 @@ namespace pamr {
       ::pamr::check_fail(#expr, __FILE__, __LINE__, (msg));  \
     }                                                        \
   } while (false)
+
+// Compiled-out checks still name their operands inside an unevaluated
+// sizeof, so variables used only by a check do not trip -Wunused under
+// lower levels (and the expression is never executed).
+#define PAMR_DETAIL_UNUSED(expr) \
+  do {                           \
+    (void)sizeof((expr) ? 1 : 0); \
+  } while (false)
+
+#if PAMR_CHECK_LEVEL >= 1
+#define PAMR_DCHECK(expr)                                    \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::pamr::dcheck_fail(#expr, __FILE__, __LINE__, "");    \
+    }                                                        \
+  } while (false)
+#define PAMR_DCHECK_MSG(expr, msg)                           \
+  do {                                                       \
+    if (!(expr)) {                                           \
+      ::pamr::dcheck_fail(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                        \
+  } while (false)
+#else
+#define PAMR_DCHECK(expr) PAMR_DETAIL_UNUSED(expr)
+#define PAMR_DCHECK_MSG(expr, msg) PAMR_DETAIL_UNUSED(expr)
+#endif
+
+// Always-on spelling, used inside explicit verification entry points (e.g.
+// LoadIndex::check_invariants) that callers gate themselves.
+#define PAMR_INVARIANT_ALWAYS(category, expr, msg)                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::pamr::invariant_fail((category), #expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (false)
+
+#if PAMR_CHECK_LEVEL >= 2
+#define PAMR_INVARIANT(category, expr, msg) \
+  PAMR_INVARIANT_ALWAYS(category, expr, msg)
+#else
+#define PAMR_INVARIANT(category, expr, msg) PAMR_DETAIL_UNUSED(expr)
+#endif

@@ -1,0 +1,37 @@
+#include "pamr/util/assert.hpp"
+
+namespace pamr {
+
+int compiled_check_level() noexcept { return PAMR_CHECK_LEVEL; }
+
+std::string format_contract_failure(const char* kind, const char* category,
+                                    const char* expr, const char* file, int line,
+                                    const std::string& msg) {
+  std::string out = std::string(kind) + "[" + category + "] failed: " + expr +
+                    " at " + file + ":" + std::to_string(line);
+  if (!msg.empty()) out += " — " + msg;
+  return out;
+}
+
+void check_fail(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  throw CheckError(
+      format_contract_failure("PAMR_CHECK", "input", expr, file, line, msg));
+}
+
+void dcheck_fail(const char* expr, const char* file, int line, const char* msg) {
+  std::fprintf(stderr, "%s\n",
+               format_contract_failure("PAMR_DCHECK", "internal", expr, file,
+                                       line, msg)
+                   .c_str());
+  std::abort();
+}
+
+void invariant_fail(const char* category, const char* expr, const char* file,
+                    int line, const std::string& msg) {
+  throw InvariantError(category, format_contract_failure("PAMR_INVARIANT",
+                                                         category, expr, file,
+                                                         line, msg));
+}
+
+}  // namespace pamr

@@ -153,6 +153,23 @@ bool CsvStreamWriter::open(const std::string& path,
   if (append) {
     std::ifstream existing(path);
     continuing = existing && existing.peek() != std::ifstream::traits_type::eof();
+#if PAMR_CHECK_LEVEL >= 2
+    if (continuing) {
+      // Paranoid: a resumed run appending under a different header would
+      // silently interleave differently-shaped rows; the shard journal makes
+      // this unreachable, so reaching it means the resume path regressed.
+      std::string expected;
+      for (std::size_t c = 0; c < header.size(); ++c) {
+        if (c > 0) expected += ',';
+        expected += csv_escape(header[c]);
+      }
+      std::string first;
+      std::getline(existing, first);
+      if (!first.empty() && first.back() == '\r') first.pop_back();
+      PAMR_INVARIANT("csv-stream", first == expected,
+                     "appending to a stream whose header does not match");
+    }
+#endif
   }
   file_.open(path, append ? std::ios::app : std::ios::trunc);
   if (!file_) {

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: build + ctest + pamr_lint (+ clang-tidy when
+# available), the same way CI runs them.
+#
+#   tools/check.sh                 # plain build, full suite, lint
+#   tools/check.sh --asan          # ASan+UBSan paranoid build + suite
+#   tools/check.sh --tsan          # TSan paranoid build + threaded suite
+#   tools/check.sh --all           # plain, then asan, then tsan
+#
+# Extra args after the mode are passed to ctest (e.g. -R suite_diff).
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-plain}"
+case "$mode" in
+  --asan) mode=asan; shift ;;
+  --tsan) mode=tsan; shift ;;
+  --all)  shift
+          "$repo/tools/check.sh" "$@"
+          "$repo/tools/check.sh" --asan "$@"
+          exec "$repo/tools/check.sh" --tsan "$@" ;;
+  --*)    echo "usage: tools/check.sh [--asan|--tsan|--all] [ctest args...]" >&2
+          exit 2 ;;
+  *)      mode=plain ;;
+esac
+
+generator=()
+command -v ninja >/dev/null 2>&1 && generator=(-G Ninja)
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+case "$mode" in
+  plain)
+    build="$repo/build"
+    cfg=(-DCMAKE_BUILD_TYPE=RelWithDebInfo)
+    threads="${PAMR_THREADS:-2}"
+    ;;
+  asan)
+    build="$repo/build-asan"
+    cfg=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DPAMR_SANITIZE=address,undefined
+         -DPAMR_CHECK_LEVEL=2)
+    threads="${PAMR_THREADS:-2}"
+    export ASAN_OPTIONS="suppressions=$repo/tools/sanitize/asan.supp:${ASAN_OPTIONS:-}"
+    export LSAN_OPTIONS="suppressions=$repo/tools/sanitize/lsan.supp:${LSAN_OPTIONS:-}"
+    export UBSAN_OPTIONS="suppressions=$repo/tools/sanitize/ubsan.supp:print_stacktrace=1:${UBSAN_OPTIONS:-}"
+    ;;
+  tsan)
+    build="$repo/build-tsan"
+    cfg=(-DCMAKE_BUILD_TYPE=RelWithDebInfo -DPAMR_SANITIZE=thread
+         -DPAMR_CHECK_LEVEL=2)
+    threads="${PAMR_THREADS:-4}"   # the races worth finding need contention
+    export TSAN_OPTIONS="suppressions=$repo/tools/sanitize/tsan.supp:${TSAN_OPTIONS:-}"
+    ;;
+esac
+
+echo "== configure ($mode) =="
+cmake -B "$build" -S "$repo" "${generator[@]}" "${cfg[@]}"
+
+echo "== build =="
+cmake --build "$build" -j "$jobs"
+
+echo "== ctest (PAMR_THREADS=$threads) =="
+( cd "$build" &&
+  PAMR_TRIALS="${PAMR_TRIALS:-20}" PAMR_THREADS="$threads" \
+    ctest --output-on-failure -j "$jobs" "$@" )
+
+echo "== pamr_lint =="
+"$build/tools/pamr_lint" --root "$repo" src/pamr
+"$build/tools/pamr_lint" --root "$repo" --fix-justifications src/pamr
+
+if [ "$mode" = plain ] && command -v run-clang-tidy >/dev/null 2>&1; then
+  echo "== clang-tidy =="
+  run-clang-tidy -quiet -p "$build" "$repo/src/pamr" >/dev/null
+fi
+
+echo "== check.sh ($mode): OK =="
