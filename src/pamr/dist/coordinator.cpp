@@ -15,6 +15,7 @@
 #include <unistd.h>
 
 #include "pamr/dist/shard_log.hpp"
+#include "pamr/obs/obs.hpp"
 #include "pamr/scenario/suite_runner.hpp"
 #include "pamr/util/csv.hpp"
 #include "pamr/util/log.hpp"
@@ -36,6 +37,7 @@ struct WorkerProc {
   MessageAssembler assembler;
   std::int64_t inflight = -1;  ///< unit id, or -1 when idle
   bool quitting = false;       ///< `quit` sent; EOF expected, not a failure
+  std::uint32_t obs_pid = 0;   ///< trace lane (1-based; 0 is the coordinator)
 
   [[nodiscard]] bool alive() const noexcept { return pid != -1; }
 };
@@ -124,6 +126,15 @@ CampaignOutcome run_campaign(const CampaignPlan& plan,
   }
   if (plan.units.empty()) throw std::invalid_argument("empty campaign plan");
 
+  const obs::PhaseScope campaign_phase(obs::Metric::kPhaseDistCampaign);
+  // Workers inherit the telemetry gates through the environment: counters
+  // and spans are recorded worker-side and shipped back over the wire.
+  if (obs::enabled()) setenv("PAMR_OBS", "1", 1);
+  if (obs::trace_enabled()) {
+    setenv("PAMR_OBS_TRACE", "1", 1);
+    obs::set_process_label(0, "coordinator");
+  }
+
   const WallTimer timer;
   std::filesystem::create_directories(options.out_dir);
   const std::string journal_path = options.out_dir + "/shards.log";
@@ -164,6 +175,7 @@ CampaignOutcome run_campaign(const CampaignPlan& plan,
   CampaignOutcome outcome;
   outcome.units_total = plan.units.size();
   outcome.units_resumed = journaled.size();
+  obs::bump(obs::Metric::kDistUnitsResumeSkipped, journaled.size());
 
   const std::size_t max_spawns =
       options.workers +
@@ -190,6 +202,7 @@ CampaignOutcome run_campaign(const CampaignPlan& plan,
     if (worker.inflight >= 0) {
       pending.push_front(static_cast<std::uint64_t>(worker.inflight));
       worker.inflight = -1;
+      obs::bump(obs::Metric::kDistUnitsRequeued);
     }
     reap(worker);
     if (!expected) {
@@ -203,6 +216,7 @@ CampaignOutcome run_campaign(const CampaignPlan& plan,
     pending.pop_front();
     worker.inflight = static_cast<std::int64_t>(unit_id);
     ++dispatched_new;
+    obs::bump(obs::Metric::kDistUnitsDispatched);
     if (!write_all(worker.to_fd, to_wire(plan.units[unit_id].to_message()))) {
       handle_death(worker);  // pipe broke: requeue and let the loop respawn
     }
@@ -214,8 +228,29 @@ CampaignOutcome run_campaign(const CampaignPlan& plan,
       throw std::runtime_error("worker reported: " +
                                (text != nullptr ? *text : std::string("unknown")));
     }
+    if (message.type == "spans") {
+      // Span batch: file under the worker's trace lane; never merged into
+      // results.
+      std::vector<obs::TraceSpan> spans;
+      for (const auto& [key, value] : message.fields) {
+        if (key != "s") continue;
+        obs::TraceSpan span;
+        if (obs::decode_span(value, span)) spans.push_back(std::move(span));
+      }
+      obs::add_remote_spans(worker.obs_pid, std::move(spans));
+      return;
+    }
     UnitResult result;
     if (!parse_unit_result(message, result, error)) throw std::runtime_error(error);
+    if (const std::string* ctr = message.find("ctr")) {
+      // Worker counter deltas fold into this process's registry. A failed
+      // merge (version skew) degrades telemetry, never the campaign.
+      std::string merge_error;
+      // pamr-lint: obs-ok (side channel: deltas go registry-to-registry, never near the aggregate bytes)
+      if (!obs::merge_cell_deltas(*ctr, merge_error)) {
+        PAMR_LOG_WARN("dropping worker telemetry: " + merge_error);
+      }
+    }
     if (worker.inflight < 0 ||
         static_cast<std::uint64_t>(worker.inflight) != result.id) {
       throw std::runtime_error("worker answered unit " + std::to_string(result.id) +
@@ -276,6 +311,12 @@ CampaignOutcome run_campaign(const CampaignPlan& plan,
         }
         workers.push_back(spawn_worker(options.worker_exe));
         ++spawns;
+        obs::bump(obs::Metric::kDistWorkerSpawns);
+        workers.back().obs_pid = static_cast<std::uint32_t>(workers.size());
+        if (obs::trace_enabled()) {
+          obs::set_process_label(workers.back().obs_pid,
+                                 "worker " + std::to_string(workers.size()));
+        }
         dispatch(workers.back());
       }
 

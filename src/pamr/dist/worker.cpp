@@ -1,10 +1,12 @@
 #include "pamr/dist/worker.hpp"
 
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "pamr/dist/protocol.hpp"
 #include "pamr/exp/metrics.hpp"
+#include "pamr/obs/obs.hpp"
 #include "pamr/scenario/scenario_spec.hpp"
 #include "pamr/scenario/work_list.hpp"
 #include "pamr/util/string_util.hpp"
@@ -59,16 +61,55 @@ int run_worker(std::FILE* in, std::FILE* out) {
     const Mesh mesh = spec.make_mesh();
     const PowerModel model = spec.make_model();
 
+    // Telemetry rides the wire as a side channel: counter deltas for this
+    // unit as a "ctr" field on the result, span batches as their own
+    // message. Neither ever reaches the aggregate bytes (the obs-value
+    // lint rule guards exactly this boundary).
+    const bool telemetry = obs::enabled();
+    obs::Snapshot before;
+    // pamr-lint: obs-ok (per-unit delta baseline; encoded into the "ctr" side channel only)
+    if (telemetry) before = obs::snapshot();
+
     const WallTimer timer;
+    std::optional<obs::Span> unit_span;
+    if (obs::trace_enabled()) {
+      unit_span.emplace(
+          "unit " + unit.scenario + "[" + std::to_string(unit.unit.point_index) + "]",
+          "{\"scenario\":\"" + json_escape(unit.scenario) +
+              "\",\"point\":" + std::to_string(unit.unit.point_index) +
+              ",\"begin\":" + std::to_string(unit.unit.begin) +
+              ",\"end\":" + std::to_string(unit.unit.end) +
+              ",\"unit_id\":" + std::to_string(unit.id) + "}");
+    }
     const exp::PointAggregate aggregate = scenario::run_unit_instances(
         mesh, model, spec, unit.unit.begin, unit.unit.end, unit.instances, unit.seed,
         unit.unit.point_index);
+    unit_span.reset();
+
+    if (obs::trace_enabled()) {
+      const std::vector<obs::TraceSpan> spans = obs::drain_spans();
+      if (!spans.empty()) {
+        Message batch;
+        batch.type = "spans";
+        batch.fields.emplace_back("id", std::to_string(unit.id));
+        for (const obs::TraceSpan& span : spans) {
+          batch.fields.emplace_back("s", obs::encode_span(span));
+        }
+        send(out, batch);
+      }
+    }
 
     UnitResult result;
     result.id = unit.id;
     result.aggregate = exp::serialize_point_aggregate(aggregate);
     result.elapsed_ms = timer.elapsed_seconds() * 1e3;
-    send(out, result.to_message());
+    Message reply = result.to_message();
+    if (telemetry) {
+      // pamr-lint: obs-ok (counter deltas travel in a dedicated "ctr" field, never in the aggregate)
+      const std::string ctr = obs::encode_cell_deltas(before, obs::snapshot());
+      if (!ctr.empty()) reply.fields.emplace_back("ctr", ctr);
+    }
+    send(out, reply);
   }
   if (!error.empty()) return fail(out, error);
   return 0;  // EOF: coordinator closed the pipe

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pamr/obs/obs.hpp"
 #include "pamr/routing/routers.hpp"
 #include "pamr/sim/sim_stats.hpp"
 #include "pamr/topo/topo_router.hpp"
@@ -13,6 +14,8 @@ namespace {
 
 SimSample probe_with_simulator(const Mesh& mesh, const CommSet& comms,
                                const Routing& routing, const sim::SimConfig& config) {
+  obs::bump(obs::Metric::kSimProbes);
+  const obs::PhaseScope phase(obs::Metric::kPhaseSim);
   const sim::SimStats stats = sim::simulate(mesh, comms, routing, config);
   SimSample sample;
   sample.ran = true;

@@ -1,0 +1,9 @@
+// Umbrella header for the telemetry subsystem. Instrumented code includes
+// this one header; everything in it degrades to inline no-op stubs when
+// built with PAMR_OBS=0 (see CMakeLists' PAMR_OBS option).
+#pragma once
+
+#include "pamr/obs/metrics.hpp"
+#include "pamr/obs/registry.hpp"
+#include "pamr/obs/report.hpp"
+#include "pamr/obs/trace.hpp"

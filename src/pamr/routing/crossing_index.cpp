@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "pamr/obs/obs.hpp"
 #include "pamr/util/assert.hpp"
 
 namespace pamr {
@@ -47,6 +48,7 @@ void CrossingIndex::add_initial_path(std::uint32_t comm,
 void CrossingIndex::apply_rewrite(std::uint32_t comm, const std::vector<Coord>& before,
                                   const std::vector<Coord>& after) {
   PAMR_ASSERT(before.size() == after.size());
+  obs::bump(obs::Metric::kXyiIndexRewrites);
   ++epoch_;
   comm_stamp_[comm] = epoch_;
   // Member + eval-slot lists stay parallel and sorted by communication:

@@ -18,6 +18,7 @@
 #include <limits>
 
 #include "pamr/mesh/rectangle.hpp"
+#include "pamr/obs/obs.hpp"
 #include "pamr/routing/link_loads.hpp"
 #include "pamr/routing/routers.hpp"
 #include "pamr/util/assert.hpp"
@@ -44,6 +45,7 @@ void apply_virtual_spread(const CommRect& rect, double weight, LinkLoads& loads)
 /// possible link between D_k and D_{k+1}".
 double remaining_bound(const Mesh& mesh, Coord from, Coord snk, double weight,
                        const LinkLoads& loads, const LoadCost& cost) {
+  obs::bump(obs::Metric::kIgCutBounds);
   if (from == snk) return 0.0;
   const CommRect rest(mesh, from, snk);
   double bound = 0.0;

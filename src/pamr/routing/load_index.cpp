@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "pamr/obs/obs.hpp"
 #include "pamr/util/assert.hpp"
 
 namespace pamr {
@@ -31,10 +32,12 @@ void LoadIndex::add_member(LinkId link, std::uint32_t comm) {
 }
 
 void LoadIndex::retire(LinkId link) {
+  obs::bump(obs::Metric::kPrLinksRetired);
   retired_[static_cast<std::size_t>(link)] = 1;
 }
 
 void LoadIndex::reorder(const std::vector<LinkId>& changed, const LinkLoads& loads) {
+  obs::bump(obs::Metric::kLoadIndexReorders);
   // The changed links, re-sorted by (new load desc, previous position asc).
   // Everything else keeps its relative order, which is exactly what the
   // seed's stable_sort of the persistent order vector computes; merging the

@@ -42,6 +42,7 @@
 #include <numeric>
 
 #include "pamr/mesh/rectangle.hpp"
+#include "pamr/obs/obs.hpp"
 #include "pamr/routing/link_loads.hpp"
 #include "pamr/routing/load_index.hpp"
 #include "pamr/routing/routers.hpp"
@@ -236,6 +237,7 @@ RouteResult PathRemoverRouter::route_incremental(const Mesh& mesh,
   PruneScratch scratch(static_cast<std::size_t>(mesh.num_cores()));
   TouchLog log(static_cast<std::size_t>(mesh.num_links()));
   std::vector<LinkId> changed;
+  std::size_t removals = 0;
 
   const std::size_t none = states.size();
   while (active > 0) {
@@ -291,9 +293,12 @@ RouteResult PathRemoverRouter::route_incremental(const Mesh& mesh,
     }
     index.reorder(changed, loads);
     log.clear();
+    ++removals;
+    obs::bump(obs::Metric::kPrRemovals);
     if (state.is_single_path()) --active;
   }
 
+  obs::sample(obs::Metric::kPrRemovalsPerCall, removals);
   return finish(mesh, comms, model,
                 make_single_path_routing(comms, extract_paths(mesh, states)),
                 timer.elapsed_ms());
@@ -314,6 +319,7 @@ RouteResult PathRemoverRouter::route_reference(const Mesh& mesh, const CommSet& 
 
   std::size_t active = count_multi_path(states);
   PruneScratch scratch(static_cast<std::size_t>(mesh.num_cores()));
+  std::size_t removals = 0;
 
   while (active > 0) {
     std::stable_sort(order.begin(), order.end(), [&loads](LinkId a, LinkId b) {
@@ -342,6 +348,8 @@ RouteResult PathRemoverRouter::route_reference(const Mesh& mesh, const CommSet& 
         std::erase(cut, link);
         state.prune(mesh, scratch);
         state.apply_spread(comms[index].weight, loads);
+        ++removals;
+        obs::bump(obs::Metric::kPrRemovals);
         if (state.is_single_path()) --active;
         removed = true;
         break;
@@ -352,6 +360,7 @@ RouteResult PathRemoverRouter::route_reference(const Mesh& mesh, const CommSet& 
                     "no removable link found while communications remain multi-path");
   }
 
+  obs::sample(obs::Metric::kPrRemovalsPerCall, removals);
   return finish(mesh, comms, model,
                 make_single_path_routing(comms, extract_paths(mesh, states)),
                 timer.elapsed_ms());

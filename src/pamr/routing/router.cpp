@@ -1,5 +1,6 @@
 #include "pamr/routing/router.hpp"
 
+#include "pamr/obs/obs.hpp"
 #include "pamr/routing/link_loads.hpp"
 #include "pamr/routing/routers.hpp"
 #include "pamr/util/assert.hpp"
@@ -27,6 +28,8 @@ std::vector<RouterKind> all_base_routers() {
 RouteResult Router::route(const Mesh& mesh, const CommSet& comms,
                           const PowerModel& model) const {
   check_comm_set(mesh, comms);
+  obs::bump(obs::Metric::kRouteCalls);
+  const obs::PhaseScope phase(obs::route_phase(name()));
   return route_impl(mesh, comms, model);
 }
 

@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "pamr/obs/obs.hpp"
 #include "pamr/routing/link_loads.hpp"
 #include "pamr/routing/routers.hpp"
 #include "pamr/routing/xy_moves.hpp"
@@ -90,6 +91,7 @@ RouteResult XYImproverRouter::route_reference(const Mesh& mesh, const CommSet& c
         loads.add(mesh.link_between(cores[k], cores[k + 1]), weight);
       }
       ++moves;
+      obs::bump(obs::Metric::kXyiMoves);
       if (trace_ != nullptr) {
         trace_->penalized_totals.push_back(cost.total(loads.values()));
       }
@@ -100,6 +102,7 @@ RouteResult XYImproverRouter::route_reference(const Mesh& mesh, const CommSet& c
     }
   }
 
+  obs::sample(obs::Metric::kXyiMovesPerCall, moves);
   std::vector<Path> final_paths;
   final_paths.reserve(comms.size());
   for (const auto& cores : paths) final_paths.push_back(path_from_cores(mesh, cores));

@@ -31,6 +31,7 @@
 // weight from every old-path link and adds it to every new-path link, so
 // shared links take the same -w/+w round trip (which can shift a stored
 // double by an ulp) and the next reorder sees the same bits in both modes.
+#include "pamr/obs/obs.hpp"
 #include "pamr/routing/crossing_index.hpp"
 #include "pamr/routing/link_loads.hpp"
 #include "pamr/routing/load_index.hpp"
@@ -74,6 +75,7 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
     const LinkId hot = index.link_at(at);
     if (loads.load(hot) <= 0.0) break;  // remaining links are idle
     if (crossings.can_skip(hot)) {
+      obs::bump(obs::Metric::kXyiVerdictSkips);
       ++at;
       continue;
     }
@@ -91,11 +93,14 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
       const std::uint32_t ci = member_list[m];
       CrossingIndex::CachedEval& slot = slots[m];
       if (!crossings.slot_fresh(slot, ci)) {
+        obs::bump(obs::Metric::kXyiEvalMisses);
         const std::size_t pos = xyi::crossing_position(paths[ci], hot_info);
         PAMR_ASSERT(pos != xyi::kNoCrossing);
         slot.candidate = xyi::best_candidate(mesh, paths[ci], pos, hot_vertical,
                                              comms[ci].weight, loads, cost);
         slot.stamp = crossings.epoch();
+      } else {
+        obs::bump(obs::Metric::kXyiEvalHits);
       }
       if (slot.candidate.delta < best.delta) {
         best = slot.candidate;
@@ -119,6 +124,7 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
         loads.add(link, weight);
       }
       ++moves;
+      obs::bump(obs::Metric::kXyiMoves);
       crossings.apply_rewrite(static_cast<std::uint32_t>(best_comm), old_cores, cores);
       changed.clear();
       for (std::size_t i = 0; i < log.links.size(); ++i) {
@@ -142,6 +148,7 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
   std::vector<Path> final_paths;
   final_paths.reserve(comms.size());
   for (const auto& cores : paths) final_paths.push_back(path_from_cores(mesh, cores));
+  obs::sample(obs::Metric::kXyiMovesPerCall, moves);
   RouteResult result = finish(mesh, comms, model,
                               make_single_path_routing(comms, std::move(final_paths)),
                               timer.elapsed_ms());

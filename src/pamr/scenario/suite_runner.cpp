@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <fstream>
 #include <memory>
+#include <optional>
 
+#include "pamr/obs/obs.hpp"
 #include "pamr/util/assert.hpp"
 #include "pamr/util/log.hpp"
 #include "pamr/util/string_util.hpp"
@@ -71,6 +73,7 @@ ScenarioResult SuiteRunner::run(const Scenario& scenario) const {
 std::vector<ScenarioResult> SuiteRunner::run_all(const std::vector<SuiteEntry>& entries,
                                                  const UnitSink& sink) const {
   options_.validate();
+  const obs::PhaseScope suite_phase(obs::Metric::kPhaseSuite);
   const WallTimer timer;
 
   // Per-point materialized state (mesh + model are built once, not per
@@ -104,6 +107,19 @@ std::vector<ScenarioResult> SuiteRunner::run_all(const std::vector<SuiteEntry>& 
   pool.parallel_for(units.size(), [&](std::size_t u) {
     const SuiteUnit& unit = units[u];
     const PointJob& job = jobs[first_job[unit.scenario_index] + unit.point_index];
+    // Scenario → point → unit context spans; run_unit_instances adds
+    // phase.unit and the routing spans beneath them.
+    std::optional<obs::Span> unit_span;
+    if (obs::trace_enabled()) {
+      const Scenario& scenario = *entries[unit.scenario_index].scenario;
+      unit_span.emplace(
+          "unit " + scenario.name + "[" + std::to_string(unit.point_index) + "]",
+          "{\"scenario\":\"" + json_escape(scenario.name) +
+              "\",\"point\":" + std::to_string(unit.point_index) +
+              ",\"x\":" + format_compact(scenario.points[unit.point_index].x) +
+              ",\"begin\":" + std::to_string(unit.begin) +
+              ",\"end\":" + std::to_string(unit.end) + "}");
+    }
     partials[u] = run_unit_instances(job.mesh, job.model, *job.spec, unit.begin,
                                      unit.end, count, entries[unit.scenario_index].seed,
                                      unit.point_index);

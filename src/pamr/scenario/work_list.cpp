@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "pamr/exp/instance_runner.hpp"
+#include "pamr/obs/obs.hpp"
 #include "pamr/util/assert.hpp"
 #include "pamr/util/string_util.hpp"
 
@@ -63,6 +64,9 @@ exp::PointAggregate run_unit_instances(const Mesh& mesh, const PowerModel& model
   PAMR_CHECK(begin <= end && end <= instances, "unit range out of bounds");
   PAMR_CHECK(!(spec.sim && spec.topo != topo::TopoKind::kRect),
              "sim=on needs topo=rect");
+  obs::bump(obs::Metric::kSuiteUnits);
+  obs::bump(obs::Metric::kSuiteInstances, end - begin);
+  const obs::PhaseScope unit_phase(obs::Metric::kPhaseUnit);
   // Non-rect units route through the topology analogues. The topology is
   // built once per unit; workloads still draw on the mesh grid, so the
   // communication sets are identical across the topo= axis.

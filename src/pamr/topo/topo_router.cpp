@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "pamr/obs/obs.hpp"
 #include "pamr/routing/link_loads.hpp"
 #include "pamr/topo/validate.hpp"
 #include "pamr/util/assert.hpp"
@@ -325,6 +326,8 @@ RouteResult route_on(const Topology& topology, RouterKind kind,
   }
   check_comm_set(topology, comms);
   if (kind == RouterKind::kBest) {
+    obs::bump(obs::Metric::kRouteCalls);
+    const obs::PhaseScope phase(obs::Metric::kPhaseRouteBest);
     const WallTimer timer;
     RouteResult best;
     for (const RouterKind base : all_base_routers()) {
@@ -335,6 +338,8 @@ RouteResult route_on(const Topology& topology, RouterKind kind,
     best.elapsed_ms = timer.elapsed_ms();
     return best;
   }
+  obs::bump(obs::Metric::kRouteCalls);
+  const obs::PhaseScope phase(obs::Metric::kPhaseRouteOther);
   const WallTimer timer;
   Routing routing;
   LocalSearchStats stats;

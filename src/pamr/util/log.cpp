@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "pamr/util/string_util.hpp"
+#include "pamr/util/timer.hpp"
 
 namespace pamr {
 
@@ -20,7 +21,22 @@ LogLevel parse_level_env() {
   if (value == "warn" || value == "warning") return LogLevel::kWarn;
   if (value == "error") return LogLevel::kError;
   if (value == "off" || value == "none") return LogLevel::kOff;
+  // Straight fprintf, not log_message: this runs during level_storage()'s
+  // static init, and the level is only parsed once — so the warning fires
+  // once per process, naming the value that was silently ignored before.
+  std::fprintf(stderr,
+               "[pamr WARN ] log: unrecognized PAMR_LOG_LEVEL '%s' "
+               "(expected debug|info|warn|error|off); defaulting to info\n",
+               env);
   return LogLevel::kInfo;
+}
+
+/// Shared epoch for the "+<ms>" stamp: the first log_message call. Elapsed
+/// time, not absolute time, so log lines order runs without leaking
+/// wall-clock state into anything diffable.
+const WallTimer& log_epoch() noexcept {
+  static const WallTimer timer;
+  return timer;
 }
 
 std::atomic<LogLevel>& level_storage() noexcept {
@@ -50,8 +66,10 @@ void set_log_level(LogLevel level) noexcept {
 void log_message(LogLevel level, const char* where, const std::string& message) {
   if (level < log_level()) return;
   static std::mutex mutex;
+  const double elapsed_ms = log_epoch().elapsed_ms();
   std::lock_guard<std::mutex> lock(mutex);
-  std::fprintf(stderr, "[pamr %s] %s: %s\n", level_name(level), where, message.c_str());
+  std::fprintf(stderr, "[pamr %s +%.1fms] %s: %s\n", level_name(level), elapsed_ms,
+               where, message.c_str());
 }
 
 }  // namespace pamr

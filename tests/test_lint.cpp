@@ -183,6 +183,54 @@ TEST_F(LintFixture, RouteImplDeclarationsAndDispatcherAllowed) {
   EXPECT_EQ(run.exit_code, 0) << run.output;
 }
 
+TEST_F(LintFixture, ClockFamilyOutsideCarveOutsFires) {
+  write("exp/bad_clock.cpp",
+        "auto t0 = std::chrono::steady_clock::now();\n"
+        "auto t1 = std::chrono::high_resolution_clock::now();\n");
+  const LintRun run = this->run();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("exp/bad_clock.cpp:1: [clock-family]"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("exp/bad_clock.cpp:2: [clock-family]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST_F(LintFixture, ClockFamilyAllowedInCarveOutsAndWhenJustified) {
+  // The two wall-time doors: the telemetry subsystem and util/timer.
+  write("obs/registry_extra.cpp", "using Clock = std::chrono::steady_clock;\n");
+  write("util/timer_extra.hpp", "using Clock = std::chrono::steady_clock;\n");
+  write("scenario/justified.cpp",
+        "// pamr-lint: clock-ok (coarse progress display only)\n"
+        "auto t = std::chrono::steady_clock::now();\n");
+  const LintRun run = this->run();
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST_F(LintFixture, ObsValueReadbackInResultPathFires) {
+  write("dist/bad_obs.cpp", "const auto snap = obs::snapshot();\n");
+  write("scenario/bad_obs.cpp", "row += obs::encode_cell_deltas(a, b);\n");
+  const LintRun run = this->run();
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("dist/bad_obs.cpp:1: [obs-value]"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("scenario/bad_obs.cpp:1: [obs-value]"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST_F(LintFixture, ObsValueAllowedOutsideResultPathsOrJustified) {
+  // The report writer reads the registry legitimately (obs/ is not a result
+  // path); the dist side channel carries a written justification.
+  write("obs/report_extra.cpp", "const auto snap = obs::snapshot();\n");
+  write("dist/justified_obs.cpp",
+        "// pamr-lint: obs-ok (side channel: deltas never touch the aggregate)\n"
+        "reply.fields.emplace_back(\"ctr\", obs::encode_cell_deltas(a, b));\n");
+  const LintRun run = this->run();
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
 TEST_F(LintFixture, FixJustificationsListsEverySuppression) {
   write("routing/a.cpp",
         "// pamr-lint: ordered-ok (membership only)\n"

@@ -19,6 +19,7 @@
 #include "pamr/dist/coordinator.hpp"
 #include "pamr/dist/worker.hpp"
 #include "pamr/exp/campaign.hpp"
+#include "pamr/obs/obs.hpp"
 #include "pamr/scenario/suite_runner.hpp"
 #include "pamr/util/args.hpp"
 #include "pamr/util/string_util.hpp"
@@ -50,6 +51,11 @@ int main(int argc, char** argv) {
   parser.add_flag("no-tables", "skip printing the merged tables to stdout");
   parser.add_int("max-units", 0,
                  "dispatch at most N new units then stop (checkpoint hook); 0 = all");
+  parser.add_string("trace-out", "",
+                    "write a merged Chrome trace-event JSON (coordinator + all "
+                    "workers) to this path");
+  parser.add_string("metrics-out", "",
+                    "write a JSON telemetry report (counters, phases) to this path");
   parser.add_flag("worker", "internal: run as a pipe-protocol worker");
   int exit_code = 0;
   if (!parser.parse(argc, argv, exit_code)) return exit_code;
@@ -90,6 +96,22 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Telemetry is armed before the campaign starts; run_campaign exports the
+  // enablement to worker processes through the environment, and workers ship
+  // counter deltas / span batches back over the wire (side channels only —
+  // result bytes are identical either way).
+  const std::string& trace_out = parser.get_string("trace-out");
+  const std::string& metrics_out = parser.get_string("metrics-out");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    if (!obs::compiled_in()) {
+      std::fprintf(stderr,
+                   "pamr_dist: warning: telemetry compiled out (PAMR_OBS=0); "
+                   "--trace-out/--metrics-out will write nothing\n");
+    }
+    obs::set_enabled(true);
+    if (!trace_out.empty()) obs::set_trace_enabled(true);
+  }
+
   const std::int64_t seed = parser.get_int("seed");
   std::vector<scenario::SuiteEntry> entries;
   Scenario adhoc;  // must outlive the plan when --spec is used
@@ -128,6 +150,23 @@ int main(int argc, char** argv) {
     const dist::CampaignPlan plan = dist::build_campaign_plan(
         std::move(entries), suite_options.instances, suite_options.chunk);
     const dist::CampaignOutcome outcome = dist::run_campaign(plan, options);
+
+    // Written even when interrupted: a partial trace/report is still useful,
+    // and the resumed invocation overwrites both with the complete picture.
+    if (obs::compiled_in()) {
+      std::string obs_error;
+      if (!metrics_out.empty() &&
+          !obs::write_report(metrics_out, "pamr_dist", plan.fingerprint, obs_error)) {
+        std::fprintf(stderr, "pamr_dist: --metrics-out %s: %s\n", metrics_out.c_str(),
+                     obs_error.c_str());
+        return 1;
+      }
+      if (!trace_out.empty() && !obs::write_trace(trace_out, obs_error)) {
+        std::fprintf(stderr, "pamr_dist: --trace-out %s: %s\n", trace_out.c_str(),
+                     obs_error.c_str());
+        return 1;
+      }
+    }
 
     std::fprintf(stderr,
                  "pamr_dist: %zu/%zu units (%zu resumed, %zu run, %zu worker "

@@ -31,6 +31,21 @@
 //                       front door (routing/router.cpp), which runs
 //                       check_comm_set first for every policy.
 //                       Suppress with: // pamr-lint: route-impl-ok (...)
+//   clock-family        std::chrono clock types (steady_clock, system_clock,
+//                       high_resolution_clock) anywhere except the two
+//                       carve-outs that own wall time: src/pamr/obs/ (the
+//                       telemetry registry and tracer) and util/timer.
+//                       Keeping every clock read behind those two doors is
+//                       what makes "wall time never reaches results"
+//                       auditable. Suppress with: // pamr-lint: clock-ok (...)
+//   obs-value           telemetry readbacks (obs::snapshot, encode_/
+//                       merge_cell_deltas) in result-producing paths. A
+//                       counter value that flows into an aggregate, CSV or
+//                       wire message breaks byte-identity between
+//                       telemetry-on and telemetry-off runs; the dist side
+//                       channel (worker "ctr" fields, coordinator merge) is
+//                       the one justified reader.
+//                       Suppress with: // pamr-lint: obs-ok (...)
 //
 // Modes:
 //   pamr_lint [--root DIR] [paths...]     lint (default paths: src/pamr);
@@ -179,6 +194,24 @@ bool in_wire_path(const std::string& rel) {
   return false;
 }
 
+/// The wall-time carve-out: the only files allowed to name a std::chrono
+/// clock. util/timer wraps the steady clock for display timing; obs/ wraps
+/// it for phase timers and trace spans. Everything else must go through one
+/// of those doors.
+bool in_clock_path(const std::string& rel) {
+  return rel.find("obs/") != std::string::npos ||
+         rel.find("util/timer") != std::string::npos;
+}
+
+const char* kClockTokens[] = {"steady_clock", "system_clock",
+                              "high_resolution_clock"};
+
+/// Telemetry readbacks: values leaving the obs registry. Legal only outside
+/// result paths (report/trace writers) or with a justified obs-ok carve-out
+/// (the dist wire side channel).
+const char* kObsValueTokens[] = {"obs::snapshot(", "encode_cell_deltas(",
+                                 "merge_cell_deltas("};
+
 const struct {
   const char* token;
   const char* why;
@@ -202,6 +235,7 @@ void lint_file(const fs::path& path, const std::string& rel,
   std::size_t number = 0;
   const bool result_path = in_result_path(rel);
   const bool wire_path = in_wire_path(rel);
+  const bool clock_path = in_clock_path(rel);
   const bool is_dispatcher = rel.size() >= 18 &&
                              rel.rfind("routing/router.cpp") == rel.size() - 18;
   SplitLine prev;
@@ -227,6 +261,32 @@ void lint_file(const fs::path& path, const std::string& rel,
                             std::string(banned.token) + " — " + banned.why +
                                 "; or justify with "
                                 "'// pamr-lint: determinism-ok (...)'"});
+      }
+    }
+
+    if (!clock_path) {
+      for (const char* token : kClockTokens) {
+        if (contains_token(split.code, token) &&
+            !has_suppression(split, prev, "clock-ok")) {
+          findings.push_back({rel, number, "clock-family",
+                              std::string(token) + " outside the wall-time "
+                                  "carve-outs (src/pamr/obs/, util/timer); "
+                                  "use WallTimer or the obs registry, or "
+                                  "justify with '// pamr-lint: clock-ok (...)'"});
+        }
+      }
+    }
+
+    if (result_path) {
+      for (const char* token : kObsValueTokens) {
+        if (contains_token(split.code, token) &&
+            !has_suppression(split, prev, "obs-ok")) {
+          findings.push_back({rel, number, "obs-value",
+                              std::string(token) + " in a result-producing "
+                                  "path — telemetry values must never reach "
+                                  "aggregate/CSV/wire bytes; justify side "
+                                  "channels with '// pamr-lint: obs-ok (...)'"});
+        }
       }
     }
 

@@ -13,7 +13,9 @@
 // `bench/fig7_num_comms` number-for-number; --seed overrides.
 #include <cstdio>
 
+#include "pamr/dist/protocol.hpp"
 #include "pamr/exp/campaign.hpp"
+#include "pamr/obs/obs.hpp"
 #include "pamr/scenario/suite_runner.hpp"
 #include "pamr/util/args.hpp"
 #include "pamr/util/string_util.hpp"
@@ -35,6 +37,10 @@ int main(int argc, char** argv) {
   parser.add_flag("json", "also write a JSON file per scenario to PAMR_OUT_DIR");
   parser.add_string("stream", "",
                     "append a CSV progress row per completed work unit to this path");
+  parser.add_string("trace-out", "",
+                    "write a Chrome trace-event JSON of the run to this path");
+  parser.add_string("metrics-out", "",
+                    "write a JSON telemetry report (counters, phases) to this path");
   int exit_code = 0;
   if (!parser.parse(argc, argv, exit_code)) return exit_code;
 
@@ -81,6 +87,47 @@ int main(int argc, char** argv) {
   options.threads = static_cast<std::size_t>(threads);
   const std::int64_t seed = parser.get_int("seed");
 
+  // Telemetry is armed before any routing work so phase timers cover the
+  // whole run; the files are written once, after every scenario finished.
+  const std::string& trace_out = parser.get_string("trace-out");
+  const std::string& metrics_out = parser.get_string("metrics-out");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    if (!obs::compiled_in()) {
+      std::fprintf(stderr,
+                   "pamr_scenarios: warning: telemetry compiled out (PAMR_OBS=0); "
+                   "--trace-out/--metrics-out will write nothing\n");
+    }
+    obs::set_enabled(true);
+    if (!trace_out.empty()) {
+      obs::set_trace_enabled(true);
+      obs::set_process_label(0, "pamr_scenarios");
+    }
+  }
+  // The report's fingerprint mirrors pamr_dist's campaign identity, so a
+  // report from either driver names the same (entries, trials, chunk)
+  // expansion and the two can be compared by eye.
+  auto write_obs_outputs = [&](const std::vector<scenario::SuiteEntry>& batch) {
+    if (!obs::compiled_in()) return true;
+    bool ok = true;
+    std::string obs_error;
+    if (!metrics_out.empty()) {
+      const std::string fingerprint =
+          dist::build_campaign_plan(batch, options.instances, options.chunk)
+              .fingerprint;
+      if (!obs::write_report(metrics_out, "pamr_scenarios", fingerprint, obs_error)) {
+        std::fprintf(stderr, "pamr_scenarios: --metrics-out %s: %s\n",
+                     metrics_out.c_str(), obs_error.c_str());
+        ok = false;
+      }
+    }
+    if (!trace_out.empty() && !obs::write_trace(trace_out, obs_error)) {
+      std::fprintf(stderr, "pamr_scenarios: --trace-out %s: %s\n", trace_out.c_str(),
+                   obs_error.c_str());
+      ok = false;
+    }
+    return ok;
+  };
+
   // PAMR_CHECK failures surface as std::logic_error; anything the parser's
   // validation did not anticipate should still exit with a diagnostic, not
   // an abort.
@@ -105,7 +152,12 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "bad --spec: %s\n", error.c_str());
       return 2;
     }
-    return run_one(scenario::adhoc_scenario(std::move(spec))) ? 0 : 2;
+    const Scenario adhoc = scenario::adhoc_scenario(std::move(spec));
+    if (!run_one(adhoc)) return 2;
+    const std::vector<scenario::SuiteEntry> batch{
+        {&adhoc,
+         seed >= 0 ? static_cast<std::uint64_t>(seed) : adhoc.default_seed}};
+    return write_obs_outputs(batch) ? 0 : 1;
   }
 
   const std::string& names = parser.get_string("run");
@@ -151,5 +203,5 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error running '%s': %s\n", names.c_str(), e.what());
     return 2;
   }
-  return 0;
+  return write_obs_outputs(entries) ? 0 : 1;
 }
