@@ -36,29 +36,6 @@ LinkId Mesh::link_from(Coord from, LinkDir dir) const noexcept {
                            static_cast<std::size_t>(dir)];
 }
 
-LinkId Mesh::link_between(Coord from, Coord to) const {
-  PAMR_CHECK(contains(from) && contains(to), "link endpoints outside mesh");
-  PAMR_CHECK(manhattan_distance(from, to) == 1, "cores are not neighbours");
-  LinkDir dir = LinkDir::kEast;
-  if (to.v == from.v + 1) {
-    dir = LinkDir::kEast;
-  } else if (to.v == from.v - 1) {
-    dir = LinkDir::kWest;
-  } else if (to.u == from.u + 1) {
-    dir = LinkDir::kSouth;
-  } else {
-    dir = LinkDir::kNorth;
-  }
-  const LinkId id = link_from(from, dir);
-  PAMR_ASSERT(id != kInvalidLink);
-  return id;
-}
-
-const LinkInfo& Mesh::link(LinkId id) const {
-  PAMR_CHECK(id >= 0 && id < num_links(), "link id out of range");
-  return links_[static_cast<std::size_t>(id)];
-}
-
 std::vector<Coord> Mesh::successors(Coord c) const {
   PAMR_CHECK(contains(c), "core outside mesh");
   std::vector<Coord> out;

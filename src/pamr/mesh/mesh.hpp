@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "pamr/mesh/coord.hpp"
+#include "pamr/util/assert.hpp"
 
 namespace pamr {
 
@@ -54,9 +55,69 @@ class Mesh {
   [[nodiscard]] LinkId link_from(Coord from, LinkDir dir) const noexcept;
 
   /// The link from `from` to the *neighbouring* core `to`; CHECKs adjacency.
-  [[nodiscard]] LinkId link_between(Coord from, Coord to) const;
+  /// Defined inline: XYI's candidate evaluation resolves two links per
+  /// rotated step, making this one of the hottest calls in the library —
+  /// the checks are a handful of integer compares, the cross-TU call they
+  /// used to ride on was the real cost.
+  [[nodiscard]] LinkId link_between(Coord from, Coord to) const {
+    PAMR_CHECK(contains(from) && contains(to), "link endpoints outside mesh");
+    PAMR_CHECK(manhattan_distance(from, to) == 1, "cores are not neighbours");
+    LinkDir dir = LinkDir::kEast;
+    if (to.v == from.v + 1) {
+      dir = LinkDir::kEast;
+    } else if (to.v == from.v - 1) {
+      dir = LinkDir::kWest;
+    } else if (to.u == from.u + 1) {
+      dir = LinkDir::kSouth;
+    } else {
+      dir = LinkDir::kNorth;
+    }
+    const LinkId id =
+        link_of_core_dir_[static_cast<std::size_t>(core_index(from)) * kNumLinkDirs +
+                          static_cast<std::size_t>(dir)];
+    PAMR_ASSERT(id != kInvalidLink);
+    return id;
+  }
 
-  [[nodiscard]] const LinkInfo& link(LinkId id) const;
+  /// link_between without the adjacency/bounds CHECKs, for callers whose
+  /// arguments are adjacent in-mesh cores *by construction* — XYI's windowed
+  /// candidate evaluation resolves two links per rotated step of a monotone
+  /// staircase, whose every permutation stays inside the source/sink
+  /// bounding rectangle, so the predicates can never fire there and their
+  /// cost (four bounds compares plus a Manhattan test per call, hundreds of
+  /// millions of calls per overloaded descent) is pure overhead. The
+  /// precondition is enforced at the paranoid tier only — level-2 builds
+  /// (sanitizer CI, the differential suites' l2 runs) keep the full checks;
+  /// at the default level the call is what the name says.
+  [[nodiscard]] LinkId link_between_unchecked(Coord from, Coord to) const {
+#if PAMR_CHECK_LEVEL >= 2
+    PAMR_DCHECK(contains(from) && contains(to) && manhattan_distance(from, to) == 1);
+#endif
+    LinkDir dir = LinkDir::kEast;
+    if (to.v == from.v + 1) {
+      dir = LinkDir::kEast;
+    } else if (to.v == from.v - 1) {
+      dir = LinkDir::kWest;
+    } else if (to.u == from.u + 1) {
+      dir = LinkDir::kSouth;
+    } else {
+      dir = LinkDir::kNorth;
+    }
+    const LinkId id =
+        link_of_core_dir_[static_cast<std::size_t>(core_index(from)) * kNumLinkDirs +
+                          static_cast<std::size_t>(dir)];
+#if PAMR_CHECK_LEVEL >= 2
+    PAMR_DCHECK(id != kInvalidLink);
+#endif
+    return id;
+  }
+
+  /// Defined inline for the same reason as link_between: every prune and
+  /// cut-cache loop resolves each cut link to its endpoints through here.
+  [[nodiscard]] const LinkInfo& link(LinkId id) const {
+    PAMR_CHECK(id >= 0 && id < num_links(), "link id out of range");
+    return links_[static_cast<std::size_t>(id)];
+  }
   [[nodiscard]] const std::vector<LinkInfo>& links() const noexcept { return links_; }
 
   /// Outgoing neighbours of a core (the paper's succ(u,v)): 2–4 cores.

@@ -36,6 +36,19 @@ class CommRect {
   /// L1 distance from src; defined for cells inside the rectangle.
   [[nodiscard]] std::int32_t depth(Coord c) const noexcept;
 
+  /// Offsets of a cell from src along the quadrant's step directions
+  /// (a = rows advanced ∈ [0, du], b = columns advanced ∈ [0, dv]); false
+  /// when `c` lies outside the rectangle. The inverse of cell().
+  [[nodiscard]] bool cell_offsets(Coord c, std::int32_t& a,
+                                  std::int32_t& b) const noexcept {
+    return offsets(c, a, b);
+  }
+
+  /// The cell at offsets (a, b) from src; callers pass offsets in range.
+  [[nodiscard]] Coord cell(std::int32_t a, std::int32_t b) const noexcept {
+    return cell_at(a, b);
+  }
+
   /// Cells of the rectangle at the given depth t ∈ [0, length()], ordered by
   /// increasing row offset.
   [[nodiscard]] std::vector<Coord> cells_at_depth(std::int32_t t) const;

@@ -15,7 +15,12 @@
 //   kUnit   deterministic work counts incremented only inside
 //           run_unit_instances and the routing code under it. These are
 //           pinned by tests: 1 thread == N threads == N dist workers,
-//           bit for bit.
+//           bit for bit, AND across binaries — a hot-path rewrite must not
+//           move them (compare_metrics.py fails on any drift).
+//   kImpl   implementation-strategy counts (cache hits/misses/fold skips).
+//           Deterministic like kUnit — the same thread/driver pinning
+//           applies — but a cache-layer rewrite legitimately changes them,
+//           so cross-binary comparisons report them informationally only.
 //   kDriver orchestration counts (units dispatched, workers spawned).
 //           Deterministic for a failure-free run of one driver, but they
 //           differ between the in-process and dist paths by design.
@@ -31,9 +36,9 @@ enum class Metric : std::uint32_t {
   // -------------------------------------------- unit-scoped counters --
   kRouteCalls,            ///< Router::route / topo::route_on invocations
   kXyiMoves,              ///< accepted moves across both XYI loops
-  kXyiEvalHits,           ///< CrossingIndex CachedEval slot hits
-  kXyiEvalMisses,         ///< CachedEval slot misses (fresh evaluation)
-  kXyiVerdictSkips,       ///< whole links skipped via no-improving-move memo
+  kXyiEvalHits,           ///< CachedEval slots reused (stamp-fresh or box-revalidated)
+  kXyiEvalMisses,         ///< CachedEval slot misses (genuine re-evaluation)
+  kXyiVerdictSkips,       ///< whole links folded in O(1) via the band-checked fold cache
   kXyiIndexRewrites,      ///< CrossingIndex::apply_rewrite calls
   kPrRemovals,            ///< PR removals applied (both loops)
   kPrLinksRetired,        ///< LoadIndex::retire calls
@@ -69,7 +74,7 @@ enum class Metric : std::uint32_t {
 inline constexpr std::size_t kNumMetrics = static_cast<std::size_t>(Metric::kMetricCount);
 
 enum class Kind : std::uint8_t { kCounter, kHistogram, kTimer };
-enum class Scope : std::uint8_t { kUnit, kDriver, kWall };
+enum class Scope : std::uint8_t { kUnit, kImpl, kDriver, kWall };
 
 struct MetricInfo {
   const char* name;
@@ -97,9 +102,9 @@ inline constexpr std::size_t cells_for(Kind kind) noexcept {
 inline constexpr MetricInfo kMetricTable[kNumMetrics] = {
     {"route.calls", Kind::kCounter, Scope::kUnit},
     {"xyi.moves", Kind::kCounter, Scope::kUnit},
-    {"xyi.memo.eval_hits", Kind::kCounter, Scope::kUnit},
-    {"xyi.memo.eval_misses", Kind::kCounter, Scope::kUnit},
-    {"xyi.memo.verdict_skips", Kind::kCounter, Scope::kUnit},
+    {"xyi.memo.eval_hits", Kind::kCounter, Scope::kImpl},
+    {"xyi.memo.eval_misses", Kind::kCounter, Scope::kImpl},
+    {"xyi.memo.verdict_skips", Kind::kCounter, Scope::kImpl},
     {"xyi.index.rewrites", Kind::kCounter, Scope::kUnit},
     {"pr.removals", Kind::kCounter, Scope::kUnit},
     {"pr.links.retired", Kind::kCounter, Scope::kUnit},

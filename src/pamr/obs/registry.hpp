@@ -58,13 +58,18 @@ struct Snapshot {
   }
 };
 
-/// True when a cell belongs to a unit-scoped metric (the ones the
-/// differential tests pin across thread counts and drivers).
+/// True when a cell belongs to a unit- or impl-scoped metric (the ones the
+/// differential tests pin across thread counts and drivers — impl counters
+/// are just as deterministic for a fixed binary; only *cross-binary*
+/// comparisons treat them as informational).
 [[nodiscard]] constexpr bool unit_scoped_cell(std::size_t cell) noexcept {
   std::size_t offset = 0;
   for (std::size_t i = 0; i < kNumMetrics; ++i) {
     const std::size_t width = cells_for(kMetricTable[i].kind);
-    if (cell < offset + width) return kMetricTable[i].scope == Scope::kUnit;
+    if (cell < offset + width) {
+      return kMetricTable[i].scope == Scope::kUnit ||
+             kMetricTable[i].scope == Scope::kImpl;
+    }
     offset += width;
   }
   return false;

@@ -15,6 +15,7 @@ namespace {
 const char* scope_name(Scope scope) {
   switch (scope) {
     case Scope::kUnit: return "unit";
+    case Scope::kImpl: return "impl";
     case Scope::kDriver: return "driver";
     case Scope::kWall: return "wall";
   }

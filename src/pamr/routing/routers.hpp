@@ -35,11 +35,35 @@ class SimpleGreedyRouter final : public Router {
 /// per-communication commitment guided by a per-cut lower bound.
 class ImprovedGreedyRouter final : public Router {
  public:
+  /// Implementation selector, mirroring PathRemoverRouter. kIncremental
+  /// (default) evaluates the per-cut lower bound from a per-communication
+  /// cut cache: every cut link's cost at (load + δ_i) is computed once
+  /// after the communication's virtual spread is removed, and each bound is
+  /// a sum of windowed minima over those cached values — loads at depths
+  /// not yet committed never change during the descent, so a hit is exact.
+  /// kReference is the seed's loop — a full rescan of every sub-rectangle
+  /// cut per candidate per hop — kept for differential testing. Both
+  /// produce bit-identical routings (same min chains, same ascending-depth
+  /// summation order, same strict-< vertical-first tie-break).
+  enum class Mode : std::uint8_t { kIncremental, kReference };
+
+  explicit ImprovedGreedyRouter(Mode mode = Mode::kIncremental) noexcept
+      : mode_(mode) {}
+
   [[nodiscard]] const char* name() const noexcept override { return "IG"; }
+  [[nodiscard]] Mode mode() const noexcept { return mode_; }
 
  protected:
   [[nodiscard]] RouteResult route_impl(const Mesh& mesh, const CommSet& comms,
                                        const PowerModel& model) const override;
+
+ private:
+  [[nodiscard]] RouteResult route_incremental(const Mesh& mesh, const CommSet& comms,
+                                              const PowerModel& model) const;
+  [[nodiscard]] RouteResult route_reference(const Mesh& mesh, const CommSet& comms,
+                                            const PowerModel& model) const;
+
+  Mode mode_;
 };
 
 /// TB — two-bend (§5.3): evaluates every Manhattan path with at most two

@@ -15,22 +15,32 @@
 //   * crossings: a CrossingIndex maps each link to the communications whose
 //     current path crosses it, in ascending order — the reference's scan
 //     order — and is patched per move from the rewritten window only.
-//   * dirty-move memoization, at two granularities: a link whose evaluation
-//     found no improving move is skipped on later passes until some
-//     communication it could consider is stamped dirty (path rewritten, or
-//     a load its candidate evaluations could read changed); and when a link IS
-//     re-evaluated, each member's best candidate rotation is cached per
-//     (link, member) slot, so only the dirty members recompute — the fresh
-//     ones fold in their cached delta. The stamp rule makes both caches
-//     exact, not heuristic — see crossing_index.hpp for the argument. The
-//     windowed allocation-free evaluation itself is xy_moves.hpp's
-//     best_candidate, pinned against the seed arithmetic by the
-//     differential suite.
+//   * dirty-move memoization, at three granularities: a link whose fold
+//     (best candidate over every crossing member) is cached and whose
+//     three-lane band is untouched reuses the cached result in O(1) —
+//     whether it found an improving move or not; when a link's band IS
+//     dirty and it is re-folded, each member's best candidate rotation is
+//     cached per (link, member) slot; and a slot dirtied only by the
+//     coarse comm-level stamp is revalidated from its recorded read-set
+//     box (no load inside it changed ⇒ the cached candidate is what a
+//     recompute would produce) before any real re-evaluation happens. The
+//     stamp and geometry rules make all three caches exact, not heuristic
+//     — see crossing_index.hpp for the argument. The windowed
+//     allocation-free evaluation itself is xy_moves.hpp's best_candidate,
+//     pinned against the seed arithmetic by the differential suite.
 //
 // Load arithmetic follows the reference exactly: a move subtracts the
 // weight from every old-path link and adds it to every new-path link, so
 // shared links take the same -w/+w round trip (which can shift a stored
 // double by an ulp) and the next reorder sees the same bits in both modes.
+// The per-link `cost_now` table (exactly cost(load(link)), refreshed for
+// the links a move changed) and the overload memo inside LoadCost are
+// transparent for the same reason: both return the very double a cold
+// evaluation computes.
+#include <algorithm>
+#include <bit>
+#include <limits>
+
 #include "pamr/obs/obs.hpp"
 #include "pamr/routing/crossing_index.hpp"
 #include "pamr/routing/link_loads.hpp"
@@ -42,6 +52,19 @@
 
 namespace pamr {
 
+#if PAMR_CHECK_LEVEL >= 2
+namespace {
+
+/// Paranoid cross-check helper: bit-equality of candidates (+inf included;
+/// any ulp drift in a reused cache is a bug, not noise).
+bool same_candidate(const xyi::Candidate& a, const xyi::Candidate& b) {
+  return std::bit_cast<std::uint64_t>(a.delta) == std::bit_cast<std::uint64_t>(b.delta) &&
+         a.j == b.j && a.i == b.i && a.forward == b.forward;
+}
+
+}  // namespace
+#endif
+
 RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet& comms,
                                                 const PowerModel& model) const {
   const WallTimer timer;
@@ -49,11 +72,17 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
 
   std::vector<std::vector<Coord>> paths;
   paths.reserve(comms.size());
+  // Per-comm link ids parallel to paths (path_links[ci][k] joins
+  // paths[ci][k] and paths[ci][k+1]), maintained under applied moves so the
+  // window walks read the removed-side link id instead of resolving it.
+  std::vector<std::vector<LinkId>> path_links;
+  path_links.reserve(comms.size());
   LinkLoads loads(mesh);
   for (const Communication& comm : comms) {
-    const Path path = xy_path(mesh, comm.src, comm.snk);
+    Path path = xy_path(mesh, comm.src, comm.snk);
     paths.push_back(cores_of_path(mesh, path));
     loads.add_path(path, comm.weight);
+    path_links.push_back(std::move(path.links));
   }
 
   // == the reference's first resort(): identity order stably sorted by the
@@ -64,48 +93,170 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
     crossings.add_initial_path(static_cast<std::uint32_t>(ci), paths[ci]);
   }
 
+  // cost(load) of every link at its current load — the unrotated side of
+  // every delta term in the windowed evaluation (see xy_moves.hpp).
+  std::vector<double> cost_now(static_cast<std::size_t>(mesh.num_links()));
+  for (std::size_t l = 0; l < cost_now.size(); ++l) {
+    cost_now[l] = cost(loads.load(static_cast<LinkId>(l)));
+  }
+
   const std::size_t cap = xyi::move_cap(mesh, comms.size());
   std::size_t moves = 0;
   TouchLog log(static_cast<std::size_t>(mesh.num_links()));
   std::vector<LinkId> changed;
   std::vector<Coord> old_cores;
 
+  // Counter totals, bumped in bulk after the descent: three obs calls per
+  // route instead of one per member-scan iteration (tens of millions on an
+  // overloaded 32×32 instance).
+  std::uint64_t n_hits = 0;
+  std::uint64_t n_misses = 0;
+  std::uint64_t n_fold_skips = 0;
+
+#if PAMR_CHECK_LEVEL >= 2
+  // Recomputes one member's candidate from scratch, bypassing every cache.
+  const auto fresh_candidate = [&](LinkId link, std::uint32_t ci) {
+    const LinkInfo& info = mesh.link(link);
+    return xyi::best_candidate(mesh, paths[ci], path_links[ci],
+                               xyi::known_crossing_position(paths[ci], info),
+                               !info.horizontal(), comms[ci].weight, loads, cost,
+                               cost_now);
+  };
+#endif
+
   std::size_t at = 0;
   while (at < index.size() && moves < cap) {
     const LinkId hot = index.link_at(at);
     if (loads.load(hot) <= 0.0) break;  // remaining links are idle
-    if (crossings.can_skip(hot)) {
-      obs::bump(obs::Metric::kXyiVerdictSkips);
-      ++at;
-      continue;
-    }
-    const LinkInfo& hot_info = mesh.link(hot);
-    const bool hot_vertical = !hot_info.horizontal();
 
-    // Ascending-member scan with strict < — the reference's order and
-    // tie-break — folding cached candidate deltas for fresh members and
-    // recomputing only the dirty ones.
     xyi::Candidate best;
     std::size_t best_comm = comms.size();
-    const auto& member_list = crossings.members(hot);
-    auto& slots = crossings.eval_slots(hot);
-    for (std::size_t m = 0; m < member_list.size(); ++m) {
-      const std::uint32_t ci = member_list[m];
-      CrossingIndex::CachedEval& slot = slots[m];
-      if (!crossings.slot_fresh(slot, ci)) {
-        obs::bump(obs::Metric::kXyiEvalMisses);
-        const std::size_t pos = xyi::crossing_position(paths[ci], hot_info);
-        PAMR_ASSERT(pos != xyi::kNoCrossing);
-        slot.candidate = xyi::best_candidate(mesh, paths[ci], pos, hot_vertical,
-                                             comms[ci].weight, loads, cost);
-        slot.stamp = crossings.epoch();
-      } else {
-        obs::bump(obs::Metric::kXyiEvalHits);
+    if (crossings.fold_valid(hot)) {
+      // O(1): nothing in this link's band changed since its last fold, so
+      // the cached (best, member) pair is the exact fold result.
+      ++n_fold_skips;
+      best = crossings.fold_best(hot);
+      best_comm = crossings.fold_comm(hot);
+#if PAMR_CHECK_LEVEL >= 2
+      {
+        // Paranoid: re-fold from scratch and demand the identical result.
+        xyi::Candidate check;
+        std::size_t check_comm = comms.size();
+        for (const std::uint32_t ci : crossings.members(hot)) {
+          const xyi::Candidate cand = fresh_candidate(hot, ci);
+          if (cand.delta < check.delta) {
+            check = cand;
+            check_comm = ci;
+          }
+        }
+        PAMR_INVARIANT("xyi-fold-cache",
+                       same_candidate(check, best) &&
+                           (check.delta == std::numeric_limits<double>::infinity() ||
+                            check_comm == best_comm),
+                       "band-validated fold cache diverged from a fresh fold");
       }
-      if (slot.candidate.delta < best.delta) {
-        best = slot.candidate;
-        best_comm = ci;
+#endif
+    } else {
+      const LinkInfo& hot_info = mesh.link(hot);
+      const bool hot_vertical = !hot_info.horizontal();
+
+      // Ascending-member scan with strict < — the reference's order and
+      // tie-break — folding cached candidate deltas for fresh members and
+      // recomputing only the genuinely dirty ones.
+      const auto& member_list = crossings.members(hot);
+      auto& hots = crossings.hot_slots(hot);
+      auto& colds = crossings.cold_slots(hot);
+      for (std::size_t m = 0; m < member_list.size(); ++m) {
+        const std::uint32_t ci = member_list[m];
+        CrossingIndex::SlotHot& slot = hots[m];
+        if (crossings.slot_fresh(slot, ci)) {
+          ++n_hits;
+        } else {
+          const std::uint64_t epoch = crossings.epoch();
+          CrossingIndex::SlotCold& cold = colds[m];
+          bool recomputed = false;
+          if (cold.spec_stamp == 0 || crossings.path_epoch(ci) > cold.spec_stamp) {
+            // Path rewritten (or first sight): rotations themselves may have
+            // changed — recompute the whole slot.
+            const xyi::CandidateSpecs specs = xyi::candidate_specs(
+                paths[ci], xyi::known_crossing_position(paths[ci], hot_info),
+                hot_vertical);
+            cold.count = specs.count;
+            for (std::uint8_t c = 0; c < specs.count; ++c) {
+              cold.box[c] = {};
+              cold.cand[c] = xyi::eval_candidate(
+                  mesh, paths[ci], path_links[ci], specs.j[c], specs.i[c],
+                  specs.forward[c], comms[ci].weight, loads, cost, cost_now,
+                  &cold.box[c]);
+              cold.cstamp[c] = epoch;
+            }
+            cold.spec_stamp = epoch;
+            recomputed = true;
+          } else {
+            // Path unchanged: the cached rotations are current; revalidate
+            // or recompute each dirty side on its own. The comm-level stamp
+            // is coarse — if nothing a candidate read has changed, per the
+            // O(1) box check or, when its block quantization cries wolf, an
+            // exact rewalk of the read set against per-link load epochs,
+            // the cached delta is what a recompute would produce: restamp.
+            const std::uint64_t dirty = crossings.dirty_stamp(ci);
+            for (std::uint8_t c = 0; c < cold.count; ++c) {
+              if (cold.cstamp[c] >= dirty) continue;  // this side untouched
+              const xyi::Candidate& cached = cold.cand[c];
+              if (crossings.window_clean(cold.box[c], cold.cstamp[c]) ||
+                  xyi::candidate_loads_unchanged(
+                      mesh, paths[ci], path_links[ci], cached.j, cached.i,
+                      cached.forward, crossings.load_epochs(), cold.cstamp[c])) {
+                cold.cstamp[c] = epoch;
+              } else {
+                cold.box[c] = {};
+                cold.cand[c] = xyi::eval_candidate(
+                    mesh, paths[ci], path_links[ci], cached.j, cached.i,
+                    cached.forward, comms[ci].weight, loads, cost, cost_now,
+                    &cold.box[c]);
+                cold.cstamp[c] = epoch;
+                recomputed = true;
+              }
+            }
+          }
+          if (recomputed) slot.best = CrossingIndex::combined(cold);
+          std::uint64_t fresh = epoch;
+          for (std::uint8_t c = 0; c < cold.count; ++c) {
+            fresh = std::min(fresh, cold.cstamp[c]);
+          }
+          slot.fresh_stamp = fresh;
+          recomputed ? ++n_misses : ++n_hits;
+#if PAMR_CHECK_LEVEL >= 2
+          // Paranoid: every cached candidate — revalidated or recomputed —
+          // must match a from-scratch evaluation bit for bit.
+          {
+            const xyi::CandidateSpecs specs = xyi::candidate_specs(
+                paths[ci], xyi::known_crossing_position(paths[ci], hot_info),
+                hot_vertical);
+            PAMR_INVARIANT("xyi-slot-cache", specs.count == cold.count,
+                           "cached candidate count diverged from the path shape");
+            for (std::uint8_t c = 0; c < specs.count; ++c) {
+              PAMR_INVARIANT(
+                  "xyi-slot-cache",
+                  same_candidate(
+                      xyi::eval_candidate(mesh, paths[ci], path_links[ci], specs.j[c],
+                                          specs.i[c], specs.forward[c],
+                                          comms[ci].weight, loads, cost, cost_now),
+                      cold.cand[c]),
+                  "cached candidate diverged from a fresh evaluation");
+            }
+            PAMR_INVARIANT("xyi-slot-cache",
+                           same_candidate(slot.best, CrossingIndex::combined(cold)),
+                           "hot slot best diverged from its cold candidates");
+          }
+#endif
+        }
+        if (slot.best.delta < best.delta) {
+          best = slot.best;
+          best_comm = ci;
+        }
       }
+      crossings.record_fold(hot, best, static_cast<std::uint32_t>(best_comm));
     }
 
     if (best.delta < -xyi::kImproveEps) {
@@ -120,6 +271,7 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
       }
       for (std::size_t k = 0; k + 1 < cores.size(); ++k) {
         const LinkId link = mesh.link_between(cores[k], cores[k + 1]);
+        path_links[best_comm][k] = link;  // rotations preserve path length
         log.record(link, loads.load(link));
         loads.add(link, weight);
       }
@@ -131,6 +283,8 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
         if (loads.load(log.links[i]) != log.before[i]) {
           changed.push_back(log.links[i]);
           crossings.note_load_change(log.links[i]);
+          cost_now[static_cast<std::size_t>(log.links[i])] =
+              cost(loads.load(log.links[i]));
         }
       }
       index.reorder(changed, loads);
@@ -140,11 +294,13 @@ RouteResult XYImproverRouter::route_incremental(const Mesh& mesh, const CommSet&
       }
       at = 0;
     } else {
-      crossings.record_no_improving_move(hot);
       ++at;
     }
   }
 
+  obs::bump(obs::Metric::kXyiEvalHits, n_hits);
+  obs::bump(obs::Metric::kXyiEvalMisses, n_misses);
+  obs::bump(obs::Metric::kXyiVerdictSkips, n_fold_skips);
   std::vector<Path> final_paths;
   final_paths.reserve(comms.size());
   for (const auto& cores : paths) final_paths.push_back(path_from_cores(mesh, cores));

@@ -1,6 +1,7 @@
 #include "pamr/routing/xy_moves.hpp"
 
 #include <algorithm>
+#include <span>
 #include <string>
 
 #include "pamr/util/assert.hpp"
@@ -45,23 +46,42 @@ CandidateBounds candidate_bounds(const std::vector<Coord>& cores, std::size_t i,
 /// (forward) or before[k+1] - Δj (backward) for k in (j, i+1) — every
 /// changed link is produced without materializing the candidate, and the
 /// load terms accumulate in path_swap_delta's exact ascending-k order.
-double candidate_delta(const Mesh& mesh, const std::vector<Coord>& cores, std::size_t j,
-                       std::size_t i, bool forward, double weight,
-                       const LinkLoads& loads, const LoadCost& cost) {
+///
+/// Per term, cost(load) of the *unrotated* side comes from `cost_now`
+/// (maintained by the caller as exactly that value), and the links resolve
+/// through the unchecked lookup — every window core of a monotone staircase
+/// permutation stays inside the source/sink rectangle, so the full
+/// adjacency checks can never fire. Neither shortcut changes a bit of the
+/// accumulated delta.
+double candidate_delta(const Mesh& mesh, const std::vector<Coord>& cores,
+                       std::span<const LinkId> links, std::size_t j, std::size_t i,
+                       bool forward, double weight, const LinkLoads& loads,
+                       const LoadCost& cost, std::span<const double> cost_now,
+                       WindowBox* box) {
   const Coord dj{cores[j + 1].u - cores[j].u, cores[j + 1].v - cores[j].v};
   const Coord di{cores[i + 1].u - cores[i].u, cores[i + 1].v - cores[i].v};
+  // Indexing the dense value span directly reads each changed link's load
+  // once instead of four bounds-checked accessor calls per step.
+  const std::span<const double> load_values = loads.values();
   double delta = 0.0;
   Coord after_k = cores[j];
+  if (box != nullptr) box->cover(cores[j]);
   for (std::size_t k = j; k <= i; ++k) {
     const Coord after_k1 =
         k == i ? cores[i + 1]
                : (forward ? Coord{cores[k].u + di.u, cores[k].v + di.v}
                           : Coord{cores[k + 2].u - dj.u, cores[k + 2].v - dj.v});
-    const LinkId removed = mesh.link_between(cores[k], cores[k + 1]);
-    const LinkId added = mesh.link_between(after_k, after_k1);
+    const LinkId removed = links[k];
+    const LinkId added = mesh.link_between_unchecked(after_k, after_k1);
+    if (box != nullptr) {
+      box->cover(cores[k + 1]);
+      box->cover(after_k1);
+    }
     if (removed != added) {
-      delta += cost.delta(loads.load(removed), loads.load(removed) - weight);
-      delta += cost.delta(loads.load(added), loads.load(added) + weight);
+      const double removed_load = load_values[static_cast<std::size_t>(removed)];
+      const double added_load = load_values[static_cast<std::size_t>(added)];
+      delta += cost(removed_load - weight) - cost_now[static_cast<std::size_t>(removed)];
+      delta += cost(added_load + weight) - cost_now[static_cast<std::size_t>(added)];
     }
     after_k = after_k1;
   }
@@ -69,6 +89,67 @@ double candidate_delta(const Mesh& mesh, const std::vector<Coord>& cores, std::s
 }
 
 }  // namespace
+
+// Same walk as candidate_delta, but instead of accumulating cost terms it
+// checks whether any load the evaluation would read (the removed/added
+// links with removed != added — the only ones candidate_delta touches)
+// changed after `since`. candidate_delta is a pure function of the path,
+// the weight and those loads, so "all unchanged" means a recompute would
+// return the identical bits.
+bool candidate_loads_unchanged(const Mesh& mesh, const std::vector<Coord>& cores,
+                               std::span<const LinkId> links, std::size_t j,
+                               std::size_t i, bool forward,
+                               std::span<const std::uint64_t> link_epochs,
+                               std::uint64_t since) {
+  const Coord dj{cores[j + 1].u - cores[j].u, cores[j + 1].v - cores[j].v};
+  const Coord di{cores[i + 1].u - cores[i].u, cores[i + 1].v - cores[i].v};
+  Coord after_k = cores[j];
+  for (std::size_t k = j; k <= i; ++k) {
+    const Coord after_k1 =
+        k == i ? cores[i + 1]
+               : (forward ? Coord{cores[k].u + di.u, cores[k].v + di.v}
+                          : Coord{cores[k + 2].u - dj.u, cores[k + 2].v - dj.v});
+    const LinkId removed = links[k];
+    const LinkId added = mesh.link_between_unchecked(after_k, after_k1);
+    if (removed != added && (link_epochs[static_cast<std::size_t>(removed)] > since ||
+                             link_epochs[static_cast<std::size_t>(added)] > since)) {
+      return false;
+    }
+    after_k = after_k1;
+  }
+  return true;
+}
+
+CandidateSpecs candidate_specs(const std::vector<Coord>& cores, std::size_t pos,
+                               bool hot_vertical) {
+  const CandidateBounds bounds = candidate_bounds(cores, pos, hot_vertical);
+  CandidateSpecs specs;
+  const auto push = [&specs](std::size_t j, std::size_t i, bool forward) {
+    specs.j[specs.count] = static_cast<std::uint32_t>(j);
+    specs.i[specs.count] = static_cast<std::uint32_t>(i);
+    specs.forward[specs.count] = forward;
+    ++specs.count;
+  };
+  // Same candidate set and order as consider_crossing: preferred side first.
+  if (hot_vertical) {
+    if (bounds.has_prev) push(bounds.prev - 1, pos, /*forward=*/false);
+    if (bounds.has_next) push(pos, bounds.next + 1, /*forward=*/true);
+  } else {
+    if (bounds.has_next) push(pos, bounds.next + 1, /*forward=*/true);
+    if (bounds.has_prev) push(bounds.prev - 1, pos, /*forward=*/false);
+  }
+  return specs;
+}
+
+Candidate eval_candidate(const Mesh& mesh, const std::vector<Coord>& cores,
+                         std::span<const LinkId> links, std::uint32_t j,
+                         std::uint32_t i, bool forward, double weight,
+                         const LinkLoads& loads, const LoadCost& cost,
+                         std::span<const double> cost_now, WindowBox* box) {
+  const double delta =
+      candidate_delta(mesh, cores, links, j, i, forward, weight, loads, cost, cost_now, box);
+  return Candidate{delta, j, i, forward};
+}
 
 std::vector<Coord> rotate_block(const std::vector<Coord>& cores, std::size_t j,
                                 std::size_t i, bool forward) {
@@ -93,14 +174,17 @@ std::vector<Coord> rotate_block(const std::vector<Coord>& cores, std::size_t j,
 double path_swap_delta(const Mesh& mesh, const std::vector<Coord>& before,
                        const std::vector<Coord>& after, double weight,
                        const LinkLoads& loads, const LoadCost& cost) {
+  const std::span<const double> load_values = loads.values();
   double delta = 0.0;
   for (std::size_t k = 0; k + 1 < before.size(); ++k) {
     if (before[k] == after[k] && before[k + 1] == after[k + 1]) continue;
     const LinkId removed = mesh.link_between(before[k], before[k + 1]);
     const LinkId added = mesh.link_between(after[k], after[k + 1]);
     if (removed == added) continue;
-    delta += cost.delta(loads.load(removed), loads.load(removed) - weight);
-    delta += cost.delta(loads.load(added), loads.load(added) + weight);
+    const double removed_load = load_values[static_cast<std::size_t>(removed)];
+    const double added_load = load_values[static_cast<std::size_t>(added)];
+    delta += cost.delta(removed_load, removed_load - weight);
+    delta += cost.delta(added_load, added_load + weight);
   }
   return delta;
 }
@@ -142,24 +226,18 @@ std::size_t crossing_position(const std::vector<Coord>& cores, const LinkInfo& h
 }
 
 Candidate best_candidate(const Mesh& mesh, const std::vector<Coord>& cores,
-                         std::size_t pos, bool hot_vertical, double weight,
-                         const LinkLoads& loads, const LoadCost& cost) {
-  Candidate best;
-  auto consider = [&](std::size_t j, std::size_t i, bool forward) {
-    const double delta = candidate_delta(mesh, cores, j, i, forward, weight, loads, cost);
-    if (delta < best.delta) {
-      best = Candidate{delta, static_cast<std::uint32_t>(j),
-                       static_cast<std::uint32_t>(i), forward};
-    }
-  };
+                         std::span<const LinkId> links, std::size_t pos,
+                         bool hot_vertical, double weight, const LinkLoads& loads,
+                         const LoadCost& cost, std::span<const double> cost_now,
+                         WindowBox* box) {
   // Same candidate set, order and strict-< tie-break as consider_crossing.
-  const CandidateBounds bounds = candidate_bounds(cores, pos, hot_vertical);
-  if (hot_vertical) {
-    if (bounds.has_prev) consider(bounds.prev - 1, pos, /*forward=*/false);
-    if (bounds.has_next) consider(pos, bounds.next + 1, /*forward=*/true);
-  } else {
-    if (bounds.has_next) consider(pos, bounds.next + 1, /*forward=*/true);
-    if (bounds.has_prev) consider(bounds.prev - 1, pos, /*forward=*/false);
+  const CandidateSpecs specs = candidate_specs(cores, pos, hot_vertical);
+  Candidate best;
+  for (std::uint8_t c = 0; c < specs.count; ++c) {
+    const Candidate cand = eval_candidate(mesh, cores, links, specs.j[c], specs.i[c],
+                                          specs.forward[c], weight, loads, cost,
+                                          cost_now, box);
+    if (cand.delta < best.delta) best = cand;
   }
   return best;
 }

@@ -210,5 +210,20 @@ TEST(PathRemoverDifferential, HeavyOverloadIsBitIdentical) {
   expect_identical(mesh, comms, "overload 5x5");
 }
 
+TEST(PathRemoverDifferential, SustainedOverloadAtScaleIsBitIdentical) {
+  // The 32×32/nc=2000 benchmark shape scaled for CI: many overlapping
+  // rectangles per link mean long removal runs with repeated windowed
+  // prunes per communication — the regime where the incremental prune's
+  // persistent marks accumulate the most history before being re-read.
+  const Mesh mesh(10, 10);
+  Rng rng(0x5CA1E);
+  UniformWorkload spec;
+  spec.num_comms = 240;
+  spec.weight_lo = 800.0;
+  spec.weight_hi = 3400.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  expect_identical(mesh, comms, "sustained overload 10x10");
+}
+
 }  // namespace
 }  // namespace pamr

@@ -58,7 +58,8 @@ TEST(ObsLayout, CellOffsetsArePinnedAndExhaustive) {
     EXPECT_EQ(cell_offset(m), expected) << info(m).name;
     for (std::size_t c = 0; c < cells_for(info(m).kind); ++c) {
       EXPECT_EQ(cell_metric(expected + c), m) << info(m).name;
-      EXPECT_EQ(unit_scoped_cell(expected + c), info(m).scope == Scope::kUnit)
+      EXPECT_EQ(unit_scoped_cell(expected + c),
+                info(m).scope == Scope::kUnit || info(m).scope == Scope::kImpl)
           << info(m).name;
     }
     expected += cells_for(info(m).kind);

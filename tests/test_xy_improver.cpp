@@ -139,6 +139,21 @@ TEST(XyImproverDifferential, HeavyOverloadIsBitIdentical) {
   expect_identical(mesh, comms, "overload 5x5");
 }
 
+TEST(XyImproverDifferential, SustainedOverloadAtScaleIsBitIdentical) {
+  // The 32×32/nc=2000 benchmark shape scaled for CI: enough communications
+  // per corridor that hot links stay far past capacity for most of the
+  // descent, so candidate_delta runs through LoadCost's penalty branch (and
+  // its overload memo) rather than the discrete fast path.
+  const Mesh mesh(10, 10);
+  Rng rng(0x5CA1E);
+  UniformWorkload spec;
+  spec.num_comms = 240;
+  spec.weight_lo = 800.0;
+  spec.weight_hi = 3400.0;
+  const CommSet comms = generate_uniform(mesh, spec, rng);
+  expect_identical(mesh, comms, "sustained overload 10x10");
+}
+
 // ------------------------------------------------------------ edge cases --
 
 TEST(XyImproverEdgeCases, AlreadyOptimalInputAppliesZeroMoves) {

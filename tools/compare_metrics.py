@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Diff two pamr "--metrics-out" reports (stdlib only; run by the CI
+"Observability smoke" step against the sequential and distributed reports
+of the same workload, and usable by hand on any pair).
+
+    compare_metrics.py <baseline.json> <candidate.json>
+
+Unit-scoped counters and histograms describe the work itself (route calls,
+IG bound evaluations, XYI moves, PR removals, ...) and are contractually
+bit-identical for the same workload no matter which driver, thread count or
+worker layout produced them. Any drift in a unit-scoped value is therefore
+an error: exit 1 listing every mismatch.
+
+Impl-scoped counters (cache hits/misses, fold skips) are deterministic for
+a fixed binary but legitimately move when a cache layer is rewritten;
+driver/wall-scoped values (dispatch counts, phase wall times) legitimately
+differ between drivers. Both are printed as an informational delta table
+and never affect the exit code.
+
+Exit 0 when all unit-scoped values match, 1 on drift or malformed input.
+"""
+import json
+import sys
+
+SCHEMA = "pamr-metrics/1"
+
+
+def fail(message):
+    print(f"compare_metrics: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_report(path):
+    try:
+        with open(path, "rb") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        fail(f"{path}: {error}")
+    if not isinstance(doc, dict) or doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    return doc
+
+
+def scoped(section, scope):
+    return {name: entry for name, entry in section.items()
+            if entry.get("scope") == scope}
+
+
+def compare_unit(baseline, candidate, drift):
+    base_counters = scoped(baseline.get("counters", {}), "unit")
+    cand_counters = scoped(candidate.get("counters", {}), "unit")
+    for name in sorted(set(base_counters) | set(cand_counters)):
+        if name not in base_counters or name not in cand_counters:
+            drift.append(f"counter {name}: present in only one report")
+            continue
+        base_value = base_counters[name]["value"]
+        cand_value = cand_counters[name]["value"]
+        if base_value != cand_value:
+            drift.append(f"counter {name}: {base_value} != {cand_value}")
+
+    base_hists = scoped(baseline.get("histograms", {}), "unit")
+    cand_hists = scoped(candidate.get("histograms", {}), "unit")
+    for name in sorted(set(base_hists) | set(cand_hists)):
+        if name not in base_hists or name not in cand_hists:
+            drift.append(f"histogram {name}: present in only one report")
+            continue
+        for field in ("count", "sum", "buckets"):
+            base_value = base_hists[name][field]
+            cand_value = cand_hists[name][field]
+            if base_value != cand_value:
+                drift.append(
+                    f"histogram {name}.{field}: {base_value} != {cand_value}")
+
+
+def print_info_deltas(baseline, candidate):
+    rows = []
+    for scope in ("impl", "driver", "wall"):
+        base_counters = scoped(baseline.get("counters", {}), scope)
+        cand_counters = scoped(candidate.get("counters", {}), scope)
+        for name in sorted(set(base_counters) & set(cand_counters)):
+            base_value = base_counters[name]["value"]
+            cand_value = cand_counters[name]["value"]
+            if base_value != cand_value:
+                rows.append((f"{scope} counter", name, base_value, cand_value))
+    base_phases = baseline.get("phases", {})
+    cand_phases = candidate.get("phases", {})
+    for name in sorted(set(base_phases) & set(cand_phases)):
+        base_calls = base_phases[name]["calls"]
+        cand_calls = cand_phases[name]["calls"]
+        if base_calls != cand_calls:
+            rows.append(("phase calls", name, base_calls, cand_calls))
+    if rows:
+        print("informational (non-unit) deltas:")
+        for kind, name, base_value, cand_value in rows:
+            print(f"  {kind} {name}: {base_value} -> {cand_value}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 1
+    baseline = load_report(argv[1])
+    candidate = load_report(argv[2])
+
+    drift = []
+    compare_unit(baseline, candidate, drift)
+    print_info_deltas(baseline, candidate)
+    if drift:
+        print(f"compare_metrics: unit-scoped drift between {argv[1]} "
+              f"({baseline.get('driver')}) and {argv[2]} "
+              f"({candidate.get('driver')}):", file=sys.stderr)
+        for line in drift:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    unit_count = len(scoped(baseline.get("counters", {}), "unit")) + \
+        len(scoped(baseline.get("histograms", {}), "unit"))
+    print(f"compare_metrics: OK — {unit_count} unit-scoped metrics identical "
+          f"({baseline.get('driver')} vs {candidate.get('driver')})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -3,12 +3,15 @@
 // comparable baseline. BENCH_2.json in the repo root was recorded when the
 // incremental PR removal loop landed; BENCH_4.json added the XYI/BEST rows
 // at 16×16/32×32 unlocked by the incremental XYI local search; BENCH_6.json
-// adds the topology column and the 16×16 torus rows routed through the
-// topo:: analogues (schema pamr-bench/3). Rows with "valid": false,
-// "power": 0 are model-infeasible points (the workload's loads exceed the
-// max link frequency) — expected outcomes, not failures.
+// added the topology column and the 16×16 torus rows routed through the
+// topo:: analogues; BENCH_10.json re-baselines after the hot-path round
+// (XYI overload memo, IG cut cache, PR windowed prune) and adds --filter so
+// CI can time a single point (schema pamr-bench/4). Rows with "valid":
+// false, "power": 0 are model-infeasible points (the workload's loads
+// exceed the max link frequency) — expected outcomes, not failures.
 //
-//   $ pamr_bench_export --out BENCH_6.json [--reps 5] [--quick]
+//   $ pamr_bench_export --out BENCH_10.json [--reps 5] [--quick]
+//                       [--filter route32/XYI/2000]
 //
 // The mesh matrix comes from pamr/bench/heuristics_matrix.hpp — the same
 // meshes, comm counts, router sets and generator stream as
@@ -17,7 +20,8 @@
 // workloads (the generator draws on the grid, independent of topology).
 // Per point the median of --reps runs is reported (medians are robust
 // against scheduler noise on shared CI runners). --quick drops the 32×32
-// points for sub-second smoke runs.
+// points for sub-second smoke runs; --filter keeps only the points whose
+// bench name ("prefix/ROUTER/nc") contains the given substring.
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
@@ -60,15 +64,21 @@ std::string json_row(const std::string& bench, std::int32_t p, std::int32_t q,
 int main(int argc, char** argv) {
   ArgParser parser("pamr_bench_export",
                    "time the micro_heuristics matrix and export JSON");
-  parser.add_string("out", "BENCH_6.json", "output path ('-' for stdout)");
+  parser.add_string("out", "BENCH_10.json", "output path ('-' for stdout)");
   parser.add_int("reps", 5, "timed repetitions per point (median reported)");
   parser.add_flag("quick", "skip the 32x32 points");
+  parser.add_string("filter", "",
+                    "only time points whose bench name contains this substring");
   int exit_code = 0;
   if (!parser.parse(argc, argv, exit_code)) return exit_code;
 
   const auto reps = static_cast<std::size_t>(std::max<std::int64_t>(
       1, parser.get_int("reps")));
   const bool quick = parser.get_flag("quick");
+  const std::string& filter = parser.get_string("filter");
+  const auto matches = [&filter](const std::string& bench) {
+    return filter.empty() || bench.find(filter) != std::string::npos;
+  };
   const PowerModel model = PowerModel::paper_discrete();
 
   std::vector<std::string> rows;
@@ -78,6 +88,9 @@ int main(int argc, char** argv) {
     for (const RouterKind kind : mesh_case.kinds) {
       const auto router = make_router(kind);
       for (const std::int32_t nc : mesh_case.num_comms) {
+        const std::string bench = std::string(mesh_case.prefix) + "/" +
+                                  to_cstring(kind) + "/" + std::to_string(nc);
+        if (!matches(bench)) continue;
         const CommSet comms = bench::heuristics_workload(mesh, nc);
 
         RouteResult result = router->route(mesh, comms, model);  // warm-up
@@ -90,8 +103,6 @@ int main(int argc, char** argv) {
         }
         std::sort(times_ms.begin(), times_ms.end());
 
-        const std::string bench = std::string(mesh_case.prefix) + "/" +
-                                  to_cstring(kind) + "/" + std::to_string(nc);
         rows.push_back(json_row(bench, mesh_case.p, mesh_case.q, nc, kind,
                                 "rect", times_ms, result));
         std::fprintf(stderr, "%-7s %5dx%-5d nc=%-5d %8.3f ms\n",
@@ -110,6 +121,9 @@ int main(int argc, char** argv) {
         RouterKind::kXYI, RouterKind::kPR, RouterKind::kBest};
     for (const RouterKind kind : kTorusKinds) {
       for (const std::int32_t nc : {100, 500}) {
+        const std::string bench =
+            "torus16/" + std::string(to_cstring(kind)) + "/" + std::to_string(nc);
+        if (!matches(bench)) continue;
         const CommSet comms = bench::heuristics_workload(mesh, nc);
 
         RouteResult result = topo::route_on(*topology, kind, comms, model);
@@ -122,8 +136,6 @@ int main(int argc, char** argv) {
         }
         std::sort(times_ms.begin(), times_ms.end());
 
-        const std::string bench =
-            "torus16/" + std::string(to_cstring(kind)) + "/" + std::to_string(nc);
         rows.push_back(
             json_row(bench, 16, 16, nc, kind, "torus", times_ms, result));
         std::fprintf(stderr, "%-7s torus 16x16 nc=%-5d %8.3f ms\n",
@@ -134,7 +146,10 @@ int main(int argc, char** argv) {
 
   std::string json;
   json += "{\n";
-  json += "  \"schema\": \"pamr-bench/3\",\n";
+  json += "  \"schema\": \"pamr-bench/4\",\n";
+  if (!filter.empty()) {
+    json += "  \"filter\": \"" + filter + "\",\n";
+  }
   json += "  \"generator\": {\"seed\": " + std::to_string(bench::kWorkloadSeed) +
           ", \"weight_lo\": " + json_double(bench::kWeightLo) +
           ", \"weight_hi\": " + json_double(bench::kWeightHi) + "},\n";

@@ -21,7 +21,7 @@ import sys
 
 SCHEMA = "pamr-metrics/1"
 HIST_BUCKETS = 21
-SCOPES = {"unit", "driver", "wall"}
+SCOPES = {"unit", "impl", "driver", "wall"}
 
 
 def fail(message):
